@@ -1,0 +1,128 @@
+// Ablation: burst (Gilbert-Elliott) vs i.i.d. loss at the same average
+// drop rate. The paper's model assumes i.i.d. chunk drops (§4.2.1) and its
+// bitmap chunking can "mask drop bursts within the same chunk" (§3.1.1).
+// This ablation runs the EXECUTABLE protocols over both loss processes:
+// bursts concentrate losses into few submessages, which helps SR (fewer
+// affected RTOs than spread losses) but stresses EC codes whose per-
+// submessage tolerance is exceeded by a burst.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reliability/reliable_channel.hpp"
+#include "sim/drop_model.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/nic.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+struct RunStats {
+  double completion_s{0.0};
+  std::uint64_t retransmissions{0};
+  bool ok{false};
+};
+
+RunStats run(reliability::ReliableChannel::Kind kind, bool bursty,
+             std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Channel::Config cfg;
+  cfg.bandwidth_bps = 100 * Gbps;
+  cfg.distance_km = 1000.0;
+  cfg.seed = seed;
+
+  // Average loss ~1e-3 in both processes; the bursty channel spends ~1% of
+  // packets in a bad state losing 10% of them.
+  std::unique_ptr<sim::DropModel> fwd;
+  if (bursty) {
+    fwd = std::make_unique<sim::GilbertElliott>(1e-4, 1e-2, 0.0, 0.1);
+  } else {
+    fwd = std::make_unique<sim::IidDrop>(1e-3);
+  }
+  auto bwd = std::make_unique<sim::IidDrop>(0.0);
+
+  auto nic_a = std::make_unique<verbs::Nic>(sim, 1);
+  auto nic_b = std::make_unique<verbs::Nic>(sim, 2);
+  auto link = std::make_unique<sim::DuplexLink>(sim, cfg, std::move(fwd),
+                                                std::move(bwd));
+  link->forward().set_receiver(
+      [nic = nic_b.get()](sim::Packet&& p) { nic->deliver(std::move(p)); });
+  link->backward().set_receiver(
+      [nic = nic_a.get()](sim::Packet&& p) { nic->deliver(std::move(p)); });
+  nic_a->add_route(2, &link->forward());
+  nic_b->add_route(1, &link->backward());
+
+  reliability::ReliableChannel::Options options;
+  options.kind = kind;
+  options.profile.bandwidth_bps = cfg.bandwidth_bps;
+  options.profile.rtt_s = rtt_s(cfg.distance_km);
+  options.profile.p_drop_packet = 1e-3;
+  options.profile.mtu = 4096;
+  options.profile.chunk_bytes = 4096;
+  options.attr.mtu = 4096;
+  options.attr.chunk_size = 4096;
+  options.attr.max_msg_size = 8 * MiB;
+  // An 8 MiB EC message posts 64 data + 64 parity submessage receives.
+  options.attr.max_inflight = 256;
+  options.ec.k = 32;
+  options.ec.m = 8;
+  options.derive_timeouts();
+  reliability::ReliableChannel channel(sim, *nic_a, *nic_b, options);
+
+  const std::size_t bytes = 8 * MiB;
+  std::vector<std::uint8_t> src(bytes), dst(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  RunStats stats;
+  int completed = 0;
+  const int messages = 4;
+  for (int m = 0; m < messages; ++m) {
+    channel.recv(dst.data(), bytes, [&](const Status& s) {
+      if (s.is_ok()) ++completed;
+    });
+    channel.send(src.data(), bytes, [](const Status&) {});
+    sim.run();
+  }
+  stats.ok = completed == messages &&
+             std::memcmp(dst.data(), src.data(), bytes) == 0;
+  stats.completion_s = sim.now().seconds() / messages;
+  stats.retransmissions = channel.retransmissions();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Ablation: burst vs i.i.d. loss",
+                       "executable SR/EC over Gilbert-Elliott bursts vs "
+                       "i.i.d. drops at ~1e-3 average loss (8 MiB writes)");
+
+  TextTable t({"scheme", "loss process", "mean completion",
+               "retransmissions", "delivered"});
+  struct Case {
+    const char* name;
+    reliability::ReliableChannel::Kind kind;
+  };
+  const Case cases[] = {
+      {"SR RTO", reliability::ReliableChannel::Kind::kSrRto},
+      {"EC MDS(32,8)", reliability::ReliableChannel::Kind::kEcMds},
+  };
+  for (const Case& c : cases) {
+    for (const bool bursty : {false, true}) {
+      const RunStats s = run(c.kind, bursty, bursty ? 77 : 33);
+      t.add_row({c.name, bursty ? "Gilbert-Elliott" : "i.i.d.",
+                 format_seconds(s.completion_s),
+                 std::to_string(s.retransmissions), s.ok ? "yes" : "NO"});
+    }
+  }
+  t.print();
+  std::printf("\nobservation: both schemes stay correct under bursts; "
+              "bursty losses cluster into few chunks/submessages, shifting "
+              "cost between SR retransmissions and EC fallbacks — the "
+              "motivation for per-deployment tuning (§2.1).\n");
+  return 0;
+}

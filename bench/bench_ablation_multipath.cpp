@@ -1,0 +1,115 @@
+// Ablation: SDR multi-channel over ECMP multi-path trunks (paper §3.4.1:
+// "by spreading traffic across channel QPs, SDR could leverage
+// intra-datacenter multi-pathing (e.g., ECMP) and multi-plane networks").
+//
+// A trunk of 4 parallel 100 Gbit/s paths connects two NICs; ECMP hashes
+// each QP pair onto one path. A single-channel SDR QP rides one path
+// (100G); adding channel QPs recruits more paths, up to the trunk's
+// aggregate 400G. Completion time of a 64 MiB transfer is measured in
+// virtual time per channel count, plus the path-usage census.
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/fabric.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+struct Outcome {
+  double completion_s{0.0};
+  std::size_t paths_used{0};
+  bool ok{false};
+};
+
+Outcome run(std::size_t channels, std::size_t trunk_paths) {
+  sim::Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Nic* a = fabric.add_nic();
+  verbs::Nic* b = fabric.add_nic();
+  verbs::Fabric::LinkOptions link;
+  link.config.bandwidth_bps = 100 * Gbps;  // per path
+  link.config.distance_km = 100.0;
+  link.paths = trunk_paths;
+  link.path_skew_s = 10e-6;  // mildly unequal paths, as in real fabrics
+  fabric.connect(a, b, link);
+
+  core::Context ctx_a(*a, core::DevAttr{});
+  core::Context ctx_b(*b, core::DevAttr{});
+  core::QpAttr attr;
+  attr.mtu = 4096;
+  attr.chunk_size = 64 * KiB;
+  attr.max_msg_size = 64 * MiB;
+  attr.max_inflight = 16;
+  attr.channels = channels;
+  core::Qp* qa = ctx_a.create_qp(attr);
+  core::Qp* qb = ctx_b.create_qp(attr);
+  qa->connect(qb->info());
+  qb->connect(qa->info());
+
+  const std::size_t len = 64 * MiB;
+  std::vector<std::uint8_t> src(len), dst(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  core::RecvHandle* rh = nullptr;
+  qb->recv_post(dst.data(), len, mr, &rh);
+  core::SendHandle* sh = nullptr;
+  qa->send_post(src.data(), len, 0, false, &sh);
+  sim.run();
+
+  Outcome out;
+  out.ok = qb->recv_done(rh) &&
+           std::memcmp(dst.data(), src.data(), len) == 0;
+  out.completion_s = sim.now().seconds();
+  // Census the paths of generation 0's channel QPs — the set one message
+  // actually rides (other generations' QPs idle until slot reuse).
+  std::set<sim::Channel*> used;
+  const core::QpInfo ia = qa->info();
+  const core::QpInfo ib = qb->info();
+  for (std::size_t c = 0; c < channels && c < ia.data_qps.size(); ++c) {
+    used.insert(a->route_to(b->id(), ia.data_qps[c], ib.data_qps[c]));
+  }
+  out.paths_used = used.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Ablation: multi-channel over ECMP (§3.4.1)",
+                       "64 MiB transfer over a 4 x 100 Gbit/s trunk; "
+                       "channel QPs recruit paths via the flow hash");
+
+  TextTable t({"SDR channels", "paths used", "completion", "effective rate",
+               "speedup vs 1 channel"});
+  double base = 0.0;
+  bool scaling_seen = false;
+  for (const std::size_t channels : {1u, 2u, 4u, 8u, 16u}) {
+    const Outcome o = run(channels, 4);
+    if (!o.ok) {
+      std::fprintf(stderr, "transfer failed at %zu channels\n", channels);
+      return 1;
+    }
+    if (channels == 1) base = o.completion_s;
+    const double rate = 64.0 * MiB * 8.0 / o.completion_s;
+    t.add_row({std::to_string(channels), std::to_string(o.paths_used),
+               format_seconds(o.completion_s), format_rate(rate),
+               bench::speedup_cell(base / o.completion_s)});
+    if (channels >= 4 && base / o.completion_s > 2.0) scaling_seen = true;
+  }
+  t.print();
+  std::printf("\nshape check: multi-channel SDR recruits the trunk's "
+              "aggregate bandwidth (>2x over one channel with >=4 channel "
+              "QPs): %s\n(perfect 4x requires the flow hash to spread "
+              "channels evenly; hash collisions cost a path, exactly like "
+              "real ECMP)\n",
+              scaling_seen ? "reproduced" : "MISSING");
+  return scaling_seen ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Ablation: ring vs binary-tree Allreduce schedules under lossy long-haul
+// links. Appendix C's accumulation argument applies to any stage-based
+// schedule; the ring pays 2N-2 small (bandwidth-optimal) stages, the tree
+// 2*ceil(log2 N) full-buffer (latency-optimal) stages. The reliability
+// scheme interacts with the schedule: SR's RTT-scale drop penalty hits the
+// ring's many dependent stages harder, which is exactly why the paper's
+// Fig 13 gains compound.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/allreduce_model.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xAB1A7E;
+constexpr std::uint64_t kSamples = 500;
+
+model::AllreduceParams base(std::uint64_t n, std::uint64_t buffer,
+                            double p_drop, model::Scheme scheme) {
+  model::AllreduceParams params;
+  params.datacenters = n;
+  params.buffer_bytes = buffer;
+  params.link.bandwidth_bps = 400 * Gbps;
+  params.link.rtt_s = 0.025;
+  params.link.p_drop = p_drop;
+  params.link.chunk_bytes = 4096;
+  params.scheme = scheme;
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Ablation: ring vs tree Allreduce schedules",
+                       "mean | p99.9 completion across buffer sizes and "
+                       "drop rates (400G, 25 ms RTT hops)",
+                       kSeed);
+
+  for (const model::Scheme scheme :
+       {model::Scheme::kSrRto, model::Scheme::kEcMds}) {
+    std::printf("\n--- scheme: %s, 8 datacenters ---\n",
+                model::scheme_name(scheme).c_str());
+    TextTable t({"buffer", "Pdrop", "ring mean | p99.9",
+                 "tree mean | p99.9", "winner (mean)"});
+    for (const std::uint64_t mib : {16ull, 128ull, 1024ull, 65536ull}) {
+      for (const double p : {1e-6, 1e-4}) {
+        const auto params = base(8, mib << 20, p, scheme);
+        const auto ring =
+            model::allreduce_distribution(params, kSamples, kSeed);
+        const auto tree =
+            model::tree_allreduce_distribution(params, kSamples, kSeed + 1);
+        char rc[64], tc[64];
+        std::snprintf(rc, sizeof(rc), "%s | %s",
+                      format_seconds(ring.mean).c_str(),
+                      format_seconds(ring.p999).c_str());
+        std::snprintf(tc, sizeof(tc), "%s | %s",
+                      format_seconds(tree.mean).c_str(),
+                      format_seconds(tree.p999).c_str());
+        t.add_row({format_bytes(mib << 20), TextTable::sci(p, 0), rc, tc,
+                   ring.mean < tree.mean ? "ring" : "tree"});
+      }
+    }
+    t.print();
+  }
+  std::printf("\nshape: the tree wins while the RTT dominates segments "
+              "(small/medium buffers at 25 ms hops); the ring wins once "
+              "segment injection dominates. Reliability costs accumulate "
+              "per dependent stage in both schedules (Appendix C).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Ablation: UC zero-copy backend vs UD staging backend (paper §2.3).
+//
+// The paper chooses UC because "UD ... comes at the cost of intermediate
+// packet staging in the host CPU or NIC memory on the receive side", while
+// UC delivers payloads straight into the user buffer through the root
+// indirect memory key. This ablation quantifies the trade:
+//   * MEASURED: the per-packet staging copy cost on this host, converted
+//     into the CPU bandwidth the UD backend burns at 400 Gbit/s line rate;
+//   * SIMULATED: functional equivalence of the two backends under loss
+//     (same bitmap semantics, same completion behaviour).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/nic.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+double measure_staging_ns_per_packet(std::size_t mtu) {
+  // The UD receive backend's extra work vs UC: one memcpy from a staging
+  // buffer (recently written by the NIC -> likely cache-resident) into the
+  // user buffer.
+  std::vector<std::uint8_t> staging(mtu, 0x5A);
+  std::vector<std::uint8_t> user(64 * MiB);
+  const std::size_t slots = user.size() / mtu;
+  const std::size_t reps = 1 << 16;
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) {
+    std::memcpy(user.data() + (i % slots) * mtu, staging.data(), mtu);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - begin).count() /
+         static_cast<double>(reps);
+}
+
+struct SimOutcome {
+  std::size_t chunks_received{0};
+  std::size_t chunks_total{0};
+  std::uint64_t staged_packets{0};
+  bool data_ok{false};
+};
+
+SimOutcome run_backend(core::Transport transport, double p_drop) {
+  sim::Simulator sim;
+  sim::Channel::Config cfg;
+  cfg.bandwidth_bps = 100 * Gbps;
+  cfg.distance_km = 100.0;
+  cfg.seed = 1234;
+  verbs::NicPair nics = verbs::make_connected_pair(sim, cfg, p_drop, 0.0);
+  core::Context ctx_a(*nics.a, core::DevAttr{});
+  core::Context ctx_b(*nics.b, core::DevAttr{});
+  core::QpAttr attr;
+  attr.mtu = 4096;
+  attr.chunk_size = 64 * KiB;
+  attr.max_msg_size = 8 * MiB;
+  attr.transport = transport;
+  core::Qp* tx = ctx_a.create_qp(attr);
+  core::Qp* rx = ctx_b.create_qp(attr);
+  tx->connect(rx->info());
+  rx->connect(tx->info());
+
+  const std::size_t len = 8 * MiB;
+  std::vector<std::uint8_t> src(len), dst(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  core::RecvHandle* rh = nullptr;
+  rx->recv_post(dst.data(), len, mr, &rh);
+  core::SendHandle* sh = nullptr;
+  tx->send_post(src.data(), len, 0, false, &sh);
+  sim.run();
+
+  const AtomicBitmap* bitmap = nullptr;
+  rx->recv_bitmap_get(rh, &bitmap);
+  SimOutcome out;
+  out.chunks_total = rh->chunk_count();
+  out.chunks_received = bitmap->popcount();
+  out.staged_packets = rx->stats().staged_packets;
+  out.data_ok = true;
+  for (std::size_t c = 0; c < out.chunks_total; ++c) {
+    if (bitmap->test(c) &&
+        std::memcmp(dst.data() + c * attr.chunk_size,
+                    src.data() + c * attr.chunk_size, attr.chunk_size) != 0) {
+      out.data_ok = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Ablation: UC zero-copy vs UD staging backend (§2.3)",
+                       "measured staging cost + functional comparison");
+
+  const double ns_per_pkt = measure_staging_ns_per_packet(4096);
+  const double copy_gbps = 4096.0 * 8.0 / ns_per_pkt;  // Gbit/s per core
+  {
+    TextTable t({"backend", "per-packet host work", "CPU copy bandwidth",
+                 "cores to stage 400 Gbit/s"});
+    t.add_row({"UC (zero-copy)", "none (NIC DMA places payload)", "-", "0"});
+    char work[48];
+    std::snprintf(work, sizeof(work), "%.0f ns memcpy (4 KiB)", ns_per_pkt);
+    t.add_row({"UD (staging)", work,
+               TextTable::num(copy_gbps, 3) + " Gbit/s",
+               TextTable::num(std::ceil(400.0 / copy_gbps), 2)});
+    t.print();
+    std::printf("\nzero-copy is the reason the SDR backend rides on UC: at "
+                "400 Gbit/s the UD backend would burn ~%.1f cores on "
+                "copies alone (plus memory bandwidth twice).\n\n",
+                400.0 / copy_gbps);
+  }
+
+  {
+    TextTable t({"backend", "drop rate", "chunks complete", "staged packets",
+                 "complete chunks intact"});
+    for (const double p : {0.0, 0.05}) {
+      for (const core::Transport transport :
+           {core::Transport::kUc, core::Transport::kUd}) {
+        const SimOutcome o = run_backend(transport, p);
+        t.add_row({transport == core::Transport::kUc ? "UC" : "UD",
+                   TextTable::num(p, 2),
+                   std::to_string(o.chunks_received) + "/" +
+                       std::to_string(o.chunks_total),
+                   std::to_string(o.staged_packets),
+                   o.data_ok ? "yes" : "NO"});
+      }
+    }
+    t.print();
+    std::printf("\nboth backends expose identical partial-completion bitmap "
+                "semantics; they differ only in the staging copies the UD "
+                "path performs.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 3: impact of reliability scheme on message completion time at
+// 400 Gbit/s. Three panels, slowdown = E[T] / T_ideal:
+//   (a) message size sweep at 3750 km (25 ms RTT), Pdrop = 1e-5
+//   (b) distance sweep for an 8 GiB message, Pdrop = 1e-5
+//   (c) drop-rate sweep for a 128 MiB message at 3750 km
+// The models operate at packet (4 KiB MTU) chunk granularity, matching the
+// paper's transport-level analysis.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "model/protocols.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+model::LinkParams link_at(double km, double p_drop) {
+  model::LinkParams link;
+  link.bandwidth_bps = 400 * Gbps;
+  link.rtt_s = rtt_s(km);
+  link.p_drop = p_drop;
+  link.chunk_bytes = 4096;
+  return link;
+}
+
+void panel(const char* title, TextTable& table) {
+  std::printf("\n--- %s ---\n", title);
+  table.print();
+}
+
+std::vector<std::string> row_for(const std::string& label,
+                                 const model::LinkParams& link,
+                                 std::uint64_t chunks) {
+  const double ideal = model::ideal_completion_s(link, chunks);
+  auto cell = [&](model::Scheme s) {
+    return bench::speedup_cell(
+        model::expected_completion_s(s, link, chunks) / ideal);
+  };
+  return {label, cell(model::Scheme::kSrRto), cell(model::Scheme::kSrNack),
+          cell(model::Scheme::kEcMds), format_seconds(ideal)};
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Figure 3",
+                       "reliability impact on message time at 400 Gbit/s "
+                       "(slowdown vs lossless ideal)");
+
+  // (a) message size sweep, 25 ms RTT, p = 1e-5.
+  {
+    TextTable t({"message", "SR RTO", "SR NACK", "EC MDS(32,8)", "ideal"});
+    for (std::uint64_t mib = 1; mib <= 64 * 1024; mib *= 4) {
+      const std::uint64_t bytes = mib * MiB;
+      const model::LinkParams link = link_at(3750.0, 1e-5);
+      t.add_row(row_for(format_bytes(bytes), link, bytes / link.chunk_bytes));
+    }
+    panel("(a) 3750 km = 25 ms RTT, Pdrop = 1e-5 — size sweep", t);
+    std::printf("shape: SR peaks near M ~ 1/Pdrop (~400 MiB) and recovers "
+                "for >= 32 GiB messages; EC stays near-ideal, paying only "
+                "parity bandwidth.\n");
+  }
+
+  // (b) distance sweep, 8 GiB message, p = 1e-5.
+  {
+    TextTable t({"distance", "SR RTO", "SR NACK", "EC MDS(32,8)", "ideal"});
+    for (const double km : {10.0, 100.0, 500.0, 1000.0, 2000.0, 3750.0,
+                            7500.0, 15000.0}) {
+      const model::LinkParams link = link_at(km, 1e-5);
+      const std::uint64_t chunks = (8ull << 30) / link.chunk_bytes;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%5.0f km", km);
+      t.add_row(row_for(label, link, chunks));
+    }
+    panel("(b) 8 GiB message, Pdrop = 1e-5 — distance sweep", t);
+    std::printf("shape: as distance grows the 8 GiB message flips from "
+                "injection-dominated (SR wins) to RTT-dominated (EC wins).\n");
+  }
+
+  // (c) drop-rate sweep, 128 MiB at 3750 km.
+  {
+    TextTable t({"Pdrop", "SR RTO", "SR NACK", "EC MDS(32,8)", "ideal"});
+    for (double p = 1e-8; p <= 0.11; p *= 10.0) {
+      const model::LinkParams link = link_at(3750.0, p);
+      const std::uint64_t chunks = (128ull << 20) / link.chunk_bytes;
+      t.add_row(row_for(TextTable::sci(p, 0), link, chunks));
+    }
+    panel("(c) 128 MiB message, 3750 km — drop-rate sweep", t);
+    std::printf("shape: SR slowdown grows from ~3x to ~10x above 1e-4 "
+                "(multiple retransmission rounds); EC holds until its code "
+                "tolerance, then falls back.\n");
+  }
+  return 0;
+}

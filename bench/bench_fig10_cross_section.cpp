@@ -1,0 +1,146 @@
+// Figure 10: detailed cross-sections of the Fig 9 grid at 400 Gbit/s,
+// 25 ms RTT. Four panels:
+//   (a) variable-size Writes at Pdrop = 1e-5: mean and p99.9 slowdowns
+//   (b) 128 MiB Write, mean completion vs drop rate
+//   (c) 128 MiB Write, p99.9 completion vs drop rate
+//   (d) 128 MiB Write: MDS data/parity split sweep vs drop rate
+// Paper headline: guided scheme choice improves mean by up to ~5-6.5x and
+// p99.9 by up to ~12x; NACK recovers up to ~4x of SR's loss.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/protocols.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xF16100;
+constexpr std::uint64_t kSamples = 3000;
+
+model::LinkParams base_link(double p) {
+  model::LinkParams link;
+  link.bandwidth_bps = 400 * Gbps;
+  link.rtt_s = 0.025;
+  link.chunk_bytes = 4096;
+  link.p_drop = p;
+  return link;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Figure 10",
+                       "cross-sections: mean + tail completion, NACK gain, "
+                       "MDS split sweep (400G, 25 ms RTT)",
+                       kSeed);
+
+  // (a) size sweep at 1e-5: mean and p99.9 slowdown per scheme.
+  {
+    std::printf("\n--- (a) size sweep, Pdrop = 1e-5 (slowdown vs ideal: "
+                "mean / p99.9) ---\n");
+    TextTable t({"message", "SR RTO", "SR NACK", "EC MDS(32,8)"});
+    for (std::uint64_t bytes = 4 * MiB; bytes <= 8ull * GiB; bytes *= 4) {
+      const model::LinkParams link = base_link(1e-5);
+      const std::uint64_t chunks = bytes / link.chunk_bytes;
+      const double ideal = model::ideal_completion_s(link, chunks);
+      std::vector<std::string> row = {format_bytes(bytes)};
+      for (auto scheme : {model::Scheme::kSrRto, model::Scheme::kSrNack,
+                          model::Scheme::kEcMds}) {
+        const auto dist = model::sample_distribution(scheme, link, chunks,
+                                                     kSamples, kSeed);
+        char cell[48];
+        std::snprintf(cell, sizeof(cell), "%.2fx / %.2fx", dist.mean / ideal,
+                      dist.p999 / ideal);
+        row.push_back(cell);
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  const std::uint64_t chunks_128mib = (128ull << 20) / 4096;
+  double max_mean_gain = 0.0, max_tail_gain = 0.0, max_nack_gain = 0.0;
+
+  // (b)+(c): 128 MiB vs drop rate, mean and p99.9.
+  {
+    std::printf("\n--- (b)(c) 128 MiB Write vs drop rate "
+                "(mean seconds | p99.9 seconds) ---\n");
+    TextTable t({"Pdrop", "SR RTO", "SR NACK", "EC MDS(32,8)", "ideal"});
+    for (double p = 1e-7; p <= 0.011; p *= 10.0) {
+      const model::LinkParams link = base_link(p);
+      const double ideal = model::ideal_completion_s(link, chunks_128mib);
+      std::vector<std::string> row = {TextTable::sci(p, 0)};
+      double sr_mean = 0, sr_tail = 0, nack_mean = 0, ec_mean = 0,
+             ec_tail = 0;
+      for (auto scheme : {model::Scheme::kSrRto, model::Scheme::kSrNack,
+                          model::Scheme::kEcMds}) {
+        const auto dist = model::sample_distribution(
+            scheme, link, chunks_128mib, kSamples, kSeed);
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%s | %s",
+                      format_seconds(dist.mean).c_str(),
+                      format_seconds(dist.p999).c_str());
+        row.push_back(cell);
+        if (scheme == model::Scheme::kSrRto) {
+          sr_mean = dist.mean;
+          sr_tail = dist.p999;
+        } else if (scheme == model::Scheme::kSrNack) {
+          nack_mean = dist.mean;
+        } else {
+          ec_mean = dist.mean;
+          ec_tail = dist.p999;
+        }
+      }
+      row.push_back(format_seconds(ideal));
+      t.add_row(std::move(row));
+      max_mean_gain = std::max(max_mean_gain, sr_mean / ec_mean);
+      max_tail_gain = std::max(max_tail_gain, sr_tail / ec_tail);
+      max_nack_gain = std::max(max_nack_gain, sr_mean / nack_mean);
+    }
+    t.print();
+    std::printf("\nheadline gains at 128 MiB: EC over SR mean up to %.1fx "
+                "(paper ~6.5x), p99.9 up to %.1fx (paper ~12.2x); NACK over "
+                "RTO up to %.1fx (paper ~4x)\n",
+                max_mean_gain, max_tail_gain, max_nack_gain);
+  }
+
+  // (d) MDS split sweep.
+  {
+    std::printf("\n--- (d) 128 MiB: MDS (k,m) split sweep — mean slowdown "
+                "vs ideal; bandwidth inflation in header ---\n");
+    const std::pair<std::size_t, std::size_t> splits[] = {
+        {32, 2}, {32, 4}, {32, 8}, {16, 8}, {8, 8}};
+    std::vector<std::string> headers = {"Pdrop"};
+    for (const auto& [k, m] : splits) {
+      char h[48];
+      std::snprintf(h, sizeof(h), "(%zu,%zu) +%.0f%%", k, m,
+                    100.0 * static_cast<double>(m) / static_cast<double>(k));
+      headers.push_back(h);
+    }
+    TextTable t(headers);
+    for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 3e-2}) {
+      const model::LinkParams link = base_link(p);
+      const double ideal = model::ideal_completion_s(link, chunks_128mib);
+      std::vector<std::string> row = {TextTable::sci(p, 0)};
+      for (const auto& [k, m] : splits) {
+        model::SchemeParams params;
+        params.ec.k = k;
+        params.ec.m = m;
+        const double mean = model::expected_completion_s(
+            model::Scheme::kEcMds, link, chunks_128mib, params);
+        row.push_back(bench::speedup_cell(mean / ideal));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::printf("\nshape: lower data-to-parity ratios protect higher drop "
+                "rates at more bandwidth; (32,8) is the balanced choice "
+                "(tolerates >1e-2 at +25%% parity).\n");
+  }
+
+  const bool ok = max_mean_gain > 3.0 && max_tail_gain > 5.0;
+  std::printf("\nshape check (EC gains at 128 MiB: mean >3x, tail >5x): %s\n",
+              ok ? "reproduced" : "MISSING");
+  return ok ? 0 : 1;
+}

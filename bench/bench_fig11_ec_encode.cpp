@@ -1,0 +1,156 @@
+// Figure 11: MDS (Reed-Solomon) vs XOR erasure-code encode cost and
+// resilience. Paper setup: 128 MiB buffer, 64 KiB chunks, k=32, m=8 on a
+// Xeon Platinum. Findings to reproduce:
+//   * XOR encodes ~2x faster than MDS (hides behind 400 Gbit/s with half
+//     the cores);
+//   * XOR trades that efficiency for resilience: it falls back to SR around
+//     1e-3 drop rate while MDS holds beyond 1e-2.
+// Encode throughput is MEASURED on this host with google-benchmark; the
+// required-cores figure extrapolates per-core throughput to the paper's
+// 400 Gbit/s line rate. The resilience panel evaluates the Appendix B
+// probabilities for the Fig 11 buffer (64 submessages of 2 MiB).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "ec/probability.hpp"
+#include "ec/reed_solomon.hpp"
+#include "ec/xor_code.hpp"
+
+using namespace sdr;  // NOLINT
+
+namespace {
+
+constexpr std::size_t kChunk = 64 * KiB;
+constexpr std::size_t kK = 32;
+constexpr std::size_t kM = 8;
+constexpr std::size_t kBuffer = 128 * MiB;
+constexpr std::size_t kSubmessages = kBuffer / (kK * kChunk);  // 64
+
+struct EncodeFixture {
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> parity;
+  std::vector<const std::uint8_t*> data_ptrs;
+  std::vector<std::uint8_t*> parity_ptrs;
+
+  EncodeFixture() {
+    data.resize(kK * kChunk);
+    parity.resize(kM * kChunk);
+    Rng rng(11);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    for (std::size_t i = 0; i < kK; ++i) {
+      data_ptrs.push_back(data.data() + i * kChunk);
+    }
+    for (std::size_t i = 0; i < kM; ++i) {
+      parity_ptrs.push_back(parity.data() + i * kChunk);
+    }
+  }
+};
+
+template <typename Codec>
+void encode_benchmark(benchmark::State& state) {
+  static EncodeFixture fixture;
+  Codec codec(kK, kM);
+  for (auto _ : state) {
+    codec.encode(std::span<const std::uint8_t* const>(fixture.data_ptrs),
+                 std::span<std::uint8_t* const>(fixture.parity_ptrs), kChunk);
+    benchmark::DoNotOptimize(fixture.parity.data());
+  }
+  // Bytes of application data protected per encode call (one submessage).
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * kChunk));
+}
+
+void BM_MdsEncode(benchmark::State& state) {
+  encode_benchmark<ec::ReedSolomon>(state);
+}
+void BM_XorEncode(benchmark::State& state) {
+  encode_benchmark<ec::XorCode>(state);
+}
+BENCHMARK(BM_MdsEncode)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_XorEncode)->Unit(benchmark::kMicrosecond);
+
+template <typename Codec>
+double measure_gbps() {
+  EncodeFixture fixture;
+  Codec codec(kK, kM);
+  // Warm up + measure enough encodes of one 2 MiB submessage.
+  const int reps = 24;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    codec.encode(std::span<const std::uint8_t* const>(fixture.data_ptrs),
+                 std::span<std::uint8_t* const>(fixture.parity_ptrs), kChunk);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(end - begin).count();
+  return static_cast<double>(reps) * (kK * kChunk) * 8.0 / seconds / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::figure_header("Figure 11",
+                       "MDS vs XOR EC(32,8): encode cost (measured on this "
+                       "host) and resilience (128 MiB buffer, 64 KiB "
+                       "chunks)");
+
+  const double mds_gbps = measure_gbps<ec::ReedSolomon>();
+  const double xor_gbps = measure_gbps<ec::XorCode>();
+  {
+    TextTable t({"code", "encode throughput", "cores to hide 400 Gbit/s",
+                 "relative speed"});
+    auto cores = [](double gbps) {
+      return TextTable::num(std::ceil(400.0 / gbps), 2);
+    };
+    t.add_row({"MDS RS(32,8)", format_rate(mds_gbps * 1e9) ,
+               cores(mds_gbps), "1.00x"});
+    t.add_row({"XOR(32,8)", format_rate(xor_gbps * 1e9), cores(xor_gbps),
+               bench::speedup_cell(xor_gbps / mds_gbps)});
+    t.print();
+    std::printf("paper shape: XOR needs about half the cores of MDS to hide "
+                "encoding at line rate — measured ratio %.2fx\n\n",
+                xor_gbps / mds_gbps);
+  }
+
+  // Resilience: fallback probability for the whole 128 MiB buffer
+  // (64 submessages) vs PACKET drop rate. One 64 KiB chunk spans 16
+  // packets at 4 KiB MTU, so the chunk-level drop the codes see is
+  // 1-(1-p)^16 (Fig 15 amplification).
+  {
+    constexpr std::size_t kPacketsPerChunk = 16;
+    TextTable t({"packet Pdrop", "chunk Pdrop", "P(submsg fail) MDS",
+                 "P(submsg fail) XOR", "P(buffer fallback) MDS",
+                 "P(buffer fallback) XOR"});
+    double xor_threshold = 0.0, mds_threshold = 0.0;
+    for (double p = 1e-5; p <= 0.033; p *= std::sqrt(10.0)) {
+      const double chunk_p = ec::chunk_drop_probability(p, kPacketsPerChunk);
+      const double mds_ok = ec::p_ec_mds(kK, kM, chunk_p);
+      const double xor_ok = ec::p_ec_xor(kK, kM, chunk_p);
+      const double mds_fb =
+          1.0 - std::pow(mds_ok, static_cast<double>(kSubmessages));
+      const double xor_fb =
+          1.0 - std::pow(xor_ok, static_cast<double>(kSubmessages));
+      t.add_row({TextTable::sci(p, 1), TextTable::sci(chunk_p, 1),
+                 TextTable::sci(1.0 - mds_ok, 2),
+                 TextTable::sci(1.0 - xor_ok, 2), TextTable::sci(mds_fb, 2),
+                 TextTable::sci(xor_fb, 2)});
+      if (xor_fb > 0.5 && xor_threshold == 0.0) xor_threshold = p;
+      if (mds_fb > 0.5 && mds_threshold == 0.0) mds_threshold = p;
+    }
+    t.print();
+    std::printf("\nbuffer fallback thresholds (P > 50%%, packet units): "
+                "XOR at ~%.1e, MDS at ~%.1e — paper: XOR ~1e-3, MDS an "
+                "order of magnitude later (robust toward 1e-2)\n\n",
+                xor_threshold, mds_threshold);
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the figure-regeneration bench harness.
+//
+// Each bench binary regenerates one figure of the paper and prints the same
+// rows/series the paper reports, as aligned text tables. Shapes (who wins,
+// crossovers, scaling slopes) are the reproduction target; absolute numbers
+// differ from the authors' BlueField-3 testbed (see DESIGN.md §1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace sdr::bench {
+
+inline void figure_header(const char* figure, const char* description,
+                          std::uint64_t seed = 0) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  if (seed != 0) {
+    std::printf("(deterministic: seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+  }
+  std::printf("=====================================================\n");
+}
+
+inline std::string speedup_cell(double speedup) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+  return buf;
+}
+
+}  // namespace sdr::bench

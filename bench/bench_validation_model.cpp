@@ -1,0 +1,127 @@
+// §5.1.1 validation: "We validate simulation results against the analytical
+// expectation for message completion time. The mean of 1000 samples from
+// the stochastic model matches the analytical solution within 5% accuracy."
+//
+// This harness sweeps a grid of (message size, drop rate, scheme) points,
+// compares 1000-sample stochastic means against the closed-form
+// expectations, and fails if any point exceeds the 5% budget. It also
+// cross-checks the O(M*p) binomial-thinning sampler against the O(M)
+// direct reference sampler.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "model/ec_model.hpp"
+#include "model/protocols.hpp"
+#include "model/sr_model.hpp"
+
+using namespace sdr;  // NOLINT
+
+int main() {
+  constexpr std::uint64_t kSeed = 0x5A11DA7E;
+  constexpr int kSamples = 1000;
+  bench::figure_header("Model validation (§5.1.1)",
+                       "stochastic mean (1000 samples) vs analytical "
+                       "expectation, 5% budget",
+                       kSeed);
+
+  model::LinkParams link;
+  link.bandwidth_bps = 400 * Gbps;
+  link.rtt_s = 0.025;
+  link.chunk_bytes = 64 * KiB;
+
+  TextTable t({"scheme", "chunks", "Pdrop", "analytical", "stochastic",
+               "rel err", "<=5%"});
+  bool all_ok = true;
+  int point = 0;
+
+  auto validate = [&](model::Scheme scheme, std::uint64_t chunks, double p) {
+    link.p_drop = p;
+    const double analytical =
+        model::expected_completion_s(scheme, link, chunks);
+    Rng rng(kSeed + (point++) * 7919);
+    RunningStats stats;
+    for (int i = 0; i < kSamples; ++i) {
+      stats.add(model::sample_completion_s(scheme, rng, link, chunks));
+    }
+    const double rel =
+        std::abs(stats.mean() - analytical) / std::max(analytical, 1e-12);
+    const bool ok = rel <= 0.05;
+    all_ok = all_ok && ok;
+    t.add_row({model::scheme_name(scheme), std::to_string(chunks),
+               TextTable::sci(p, 0), format_seconds(analytical),
+               format_seconds(stats.mean()),
+               TextTable::num(rel * 100.0, 2) + "%", ok ? "yes" : "NO"});
+  };
+
+  for (const std::uint64_t chunks : {64ull, 2048ull, 65536ull}) {
+    for (const double p : {1e-5, 1e-3, 1e-2}) {
+      validate(model::Scheme::kSrRto, chunks, p);
+      validate(model::Scheme::kSrNack, chunks, p);
+      validate(model::Scheme::kEcMds, chunks, p);
+    }
+  }
+  t.print();
+
+  // Closed-form quantiles (Appendix A CDF inverted) vs sampled percentiles.
+  {
+    std::printf("\n--- analytical quantiles vs 20000-sample percentiles "
+                "(SR RTO) ---\n");
+    TextTable qt({"chunks", "Pdrop", "q", "analytical", "sampled",
+                  "rel err"});
+    bool q_ok = true;
+    for (const double p : {1e-4, 1e-3}) {
+      link.p_drop = p;
+      const std::uint64_t chunks = 2048;
+      const auto dist = model::sample_distribution(
+          model::Scheme::kSrRto, link, chunks, 20000, kSeed + 5);
+      const struct {
+        double q;
+        double sampled;
+      } points[] = {{0.5, dist.p50}, {0.999, dist.p999}};
+      for (const auto& pt : points) {
+        const double analytic = model::sr_completion_quantile(
+            link, chunks, model::SrConfig{3.0}, pt.q);
+        const double rel =
+            std::abs(analytic - pt.sampled) / std::max(pt.sampled, 1e-12);
+        q_ok = q_ok && rel < 0.10;
+        qt.add_row({std::to_string(chunks), TextTable::sci(p, 0),
+                    TextTable::num(pt.q, 4), format_seconds(analytic),
+                    format_seconds(pt.sampled),
+                    TextTable::num(rel * 100.0, 2) + "%"});
+      }
+    }
+    qt.print();
+    all_ok = all_ok && q_ok;
+  }
+
+  // Thinning sampler vs direct O(M) reference.
+  {
+    std::printf("\n--- fast sampler vs direct reference (SR RTO) ---\n");
+    TextTable ref({"chunks", "Pdrop", "thinning mean", "direct mean",
+                   "rel err"});
+    bool sampler_ok = true;
+    for (const double p : {1e-4, 1e-2}) {
+      link.p_drop = p;
+      const std::uint64_t chunks = 8192;
+      Rng a(kSeed), b(kSeed * 31);
+      RunningStats fast, direct;
+      for (int i = 0; i < 2000; ++i) {
+        fast.add(model::sr_sample_completion_s(a, link, chunks));
+        direct.add(model::sr_sample_completion_direct_s(b, link, chunks));
+      }
+      const double rel =
+          std::abs(fast.mean() - direct.mean()) / direct.mean();
+      sampler_ok = sampler_ok && rel < 0.03;
+      ref.add_row({std::to_string(chunks), TextTable::sci(p, 0),
+                   format_seconds(fast.mean()),
+                   format_seconds(direct.mean()),
+                   TextTable::num(rel * 100.0, 2) + "%"});
+    }
+    ref.print();
+    all_ok = all_ok && sampler_ok;
+  }
+
+  std::printf("\nvalidation %s\n", all_ok ? "PASSED" : "FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+#include "collectives/broadcast.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sdr::collectives {
+
+namespace {
+
+/// Parent of node i in the binomial tree rooted at 0: clear the highest
+/// set bit. Children of i: i + 2^r for every 2^r > i (bounded by N).
+std::size_t parent_of(std::size_t i) {
+  std::size_t high = 1;
+  while ((high << 1) <= i) high <<= 1;
+  return i - high;
+}
+
+std::vector<std::size_t> children_of(std::size_t i, std::size_t n) {
+  std::vector<std::size_t> kids;
+  std::size_t step = 1;
+  while (step <= i) step <<= 1;  // smallest power of two > i
+  for (; i + step < n; step <<= 1) {
+    kids.push_back(i + step);
+  }
+  return kids;
+}
+
+}  // namespace
+
+BinomialBroadcast::BinomialBroadcast(sim::Simulator& simulator,
+                                     BroadcastConfig config)
+    : sim_(simulator), config_(config), fabric_(simulator) {
+  const std::size_t n = config_.nodes;
+  nics_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nics_.push_back(fabric_.add_nic());
+
+  // Build links and reliable channels for exactly the tree edges.
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t p = parent_of(i);
+    verbs::Fabric::LinkOptions link = config_.link;
+    link.config.seed = config_.seed + i * 7919;
+    fabric_.connect(nics_[p], nics_[i], link);
+    channels_.emplace(
+        std::make_pair(p, i),
+        std::make_unique<reliability::ReliableChannel>(
+            sim_, *nics_[p], *nics_[i], config_.channel));
+  }
+}
+
+BinomialBroadcast::~BinomialBroadcast() = default;
+
+BroadcastResult BinomialBroadcast::run(
+    std::vector<std::vector<std::uint8_t>>& buffers) {
+  BroadcastResult result;
+  const std::size_t n = config_.nodes;
+  if (buffers.size() != n) {
+    result.status = Status(StatusCode::kInvalidArgument,
+                           "need one buffer per node");
+    return result;
+  }
+  for (auto& buf : buffers) {
+    if (buf.size() != config_.bytes) {
+      result.status =
+          Status(StatusCode::kInvalidArgument, "buffer size mismatch");
+      return result;
+    }
+  }
+  std::size_t rounds = 0;
+  for (std::size_t v = 1; v < n; v <<= 1) ++rounds;
+  result.rounds = rounds;
+
+  buffers_ = &buffers;
+  has_data_.assign(n, false);
+  has_data_[0] = true;
+  done_nodes_ = 1;  // the root
+
+  double last_arrival_s = 0.0;
+  // Every non-root posts its receive up front (CTS flows immediately; the
+  // parent's send is queued by SDR until then anyway).
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t p = parent_of(i);
+    reliability::ReliableChannel& ch = *channels_.at({p, i});
+    const std::size_t node = i;
+    const Status st = ch.recv(
+        buffers[i].data(), config_.bytes,
+        [this, node, &last_arrival_s](const Status& s) {
+          if (!s.is_ok()) return;
+          has_data_[node] = true;
+          ++done_nodes_;
+          last_arrival_s = std::max(last_arrival_s, sim_.now().seconds());
+          start_sends_from(node);  // eager: forward as soon as it lands
+        });
+    if (!st) {
+      result.status = st;
+      return result;
+    }
+  }
+  start_sends_from(0);
+  sim_.run();
+
+  if (done_nodes_ != n) {
+    result.status = Status(StatusCode::kAborted, "broadcast incomplete");
+    return result;
+  }
+  result.completion_s = last_arrival_s;
+  for (const auto& [edge, channel] : channels_) {
+    result.total_retransmissions += channel->retransmissions();
+  }
+  result.status = Status::ok();
+  return result;
+}
+
+void BinomialBroadcast::start_sends_from(std::size_t node) {
+  for (const std::size_t child : children_of(node, config_.nodes)) {
+    reliability::ReliableChannel& ch = *channels_.at({node, child});
+    ch.send((*buffers_)[node].data(), config_.bytes, [](const Status&) {});
+  }
+}
+
+}  // namespace sdr::collectives

@@ -1,0 +1,187 @@
+#include "collectives/ring_allreduce.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdr::collectives {
+
+struct RingAllreduce::Node {
+  std::size_t rank{0};
+  std::uint64_t step{0};
+  int pending{0};
+  std::vector<float> scratch;
+  bool finished{false};
+  double finish_s{0.0};
+};
+
+RingAllreduce::RingAllreduce(sim::Simulator& simulator, RingConfig config)
+    : sim_(simulator), config_(config) {
+  const std::size_t n = config_.nodes;
+  assert(n >= 2);
+
+  nics_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nics_.push_back(
+        std::make_unique<verbs::Nic>(sim_, static_cast<verbs::NicId>(i + 1)));
+  }
+  // Ring links: link i connects nic i -> nic (i+1) % n.
+  links_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Channel::Config link_cfg = config_.link;
+    link_cfg.seed = config_.seed + i * 1000003ULL;
+    auto link = std::make_unique<sim::DuplexLink>(
+        sim_, link_cfg, std::make_unique<sim::IidDrop>(config_.p_drop_forward),
+        std::make_unique<sim::IidDrop>(config_.p_drop_backward));
+    verbs::Nic* src = nics_[i].get();
+    verbs::Nic* dst = nics_[(i + 1) % n].get();
+    link->forward().set_receiver(
+        [dst](sim::Packet&& p) { dst->deliver(std::move(p)); });
+    link->backward().set_receiver(
+        [src](sim::Packet&& p) { src->deliver(std::move(p)); });
+    src->add_route(dst->id(), &link->forward());
+    dst->add_route(src->id(), &link->backward());
+    links_.push_back(std::move(link));
+  }
+  channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    channels_.push_back(std::make_unique<reliability::ReliableChannel>(
+        sim_, *nics_[i], *nics_[(i + 1) % n], config_.channel));
+  }
+}
+
+RingAllreduce::~RingAllreduce() = default;
+
+std::size_t RingAllreduce::segment_of(std::size_t rank, std::uint64_t step,
+                                      bool sending) const {
+  const std::size_t n = config_.nodes;
+  const auto r = static_cast<std::int64_t>(rank);
+  const auto t = static_cast<std::int64_t>(step);
+  const auto nn = static_cast<std::int64_t>(n);
+  std::int64_t seg;
+  if (step < n - 1) {
+    // Reduce-scatter: send (rank - t), receive (rank - t - 1).
+    seg = sending ? r - t : r - t - 1;
+  } else {
+    // Allgather: send (rank - t' + 1), receive (rank - t').
+    const std::int64_t tp = t - (nn - 1);
+    seg = sending ? r - tp + 1 : r - tp;
+  }
+  seg %= nn;
+  if (seg < 0) seg += nn;
+  return static_cast<std::size_t>(seg);
+}
+
+RingResult RingAllreduce::run(std::vector<std::vector<float>>& buffers) {
+  RingResult result;
+  const std::size_t n = config_.nodes;
+  if (buffers.size() != n || config_.elements % n != 0) {
+    result.status = Status(StatusCode::kInvalidArgument,
+                           "buffers must match nodes; elements % nodes == 0");
+    return result;
+  }
+  const std::size_t seg_floats = config_.elements / n;
+  const std::size_t seg_bytes = seg_floats * sizeof(float);
+  const bool is_ec =
+      config_.channel.kind == reliability::ReliableChannel::Kind::kEcMds ||
+      config_.channel.kind == reliability::ReliableChannel::Kind::kEcXor;
+  if (is_ec) {
+    const std::size_t granularity =
+        config_.channel.ec.k * config_.channel.attr.chunk_size;
+    if (seg_bytes % granularity != 0) {
+      result.status =
+          Status(StatusCode::kInvalidArgument,
+                 "segment bytes must be a multiple of k*chunk for EC");
+      return result;
+    }
+  }
+  for (const auto& buf : buffers) {
+    if (buf.size() != config_.elements) {
+      result.status =
+          Status(StatusCode::kInvalidArgument, "buffer size mismatch");
+      return result;
+    }
+  }
+
+  buffers_ = &buffers;
+  done_nodes_ = 0;
+  nodes_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->rank = i;
+    node->scratch.resize(seg_floats);
+    nodes_.push_back(std::move(node));
+  }
+  for (std::size_t i = 0; i < n; ++i) start_step(i);
+  sim_.run();
+
+  if (done_nodes_ != n) {
+    result.status =
+        Status(StatusCode::kAborted, "collective did not complete");
+    return result;
+  }
+  for (const auto& node : nodes_) {
+    result.completion_s = std::max(result.completion_s, node->finish_s);
+  }
+  for (const auto& channel : channels_) {
+    result.total_retransmissions += channel->retransmissions();
+  }
+  result.status = Status::ok();
+  return result;
+}
+
+void RingAllreduce::start_step(std::size_t rank) {
+  Node& node = *nodes_[rank];
+  const std::size_t n = config_.nodes;
+  if (node.step >= 2 * n - 2) {
+    node.finished = true;
+    node.finish_s = sim_.now().seconds();
+    ++done_nodes_;
+    return;
+  }
+  const std::size_t seg_floats = config_.elements / n;
+  const std::size_t seg_bytes = seg_floats * sizeof(float);
+  const std::uint64_t step = node.step;
+  node.pending = 2;
+
+  // Send this step's segment to the successor.
+  const std::size_t send_seg = segment_of(rank, step, /*sending=*/true);
+  const auto* send_ptr = reinterpret_cast<const std::uint8_t*>(
+      (*buffers_)[rank].data() + send_seg * seg_floats);
+  channels_[rank]->send(send_ptr, seg_bytes,
+                        [this, rank, step](const Status& s) {
+                          assert(s.is_ok());
+                          (void)s;
+                          on_part_done(rank, step);
+                        });
+
+  // Receive the predecessor's segment into scratch, then reduce/copy.
+  const std::size_t recv_seg = segment_of(rank, step, /*sending=*/false);
+  const std::size_t pred_channel = (rank + n - 1) % n;
+  auto* recv_ptr = reinterpret_cast<std::uint8_t*>(nodes_[rank]->scratch.data());
+  const bool reduce_phase = step < n - 1;
+  channels_[pred_channel]->recv(
+      recv_ptr, seg_bytes,
+      [this, rank, step, recv_seg, seg_floats, reduce_phase](const Status& s) {
+        assert(s.is_ok());
+        (void)s;
+        Node& nd = *nodes_[rank];
+        float* dst = (*buffers_)[rank].data() + recv_seg * seg_floats;
+        if (reduce_phase) {
+          for (std::size_t e = 0; e < seg_floats; ++e) dst[e] += nd.scratch[e];
+        } else {
+          std::copy(nd.scratch.begin(), nd.scratch.end(), dst);
+        }
+        on_part_done(rank, step);
+      });
+}
+
+void RingAllreduce::on_part_done(std::size_t rank, std::uint64_t step) {
+  Node& node = *nodes_[rank];
+  if (node.step != step) return;  // stale callback (should not happen)
+  if (--node.pending == 0) {
+    ++node.step;
+    start_step(rank);
+  }
+}
+
+}  // namespace sdr::collectives

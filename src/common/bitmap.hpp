@@ -1,0 +1,199 @@
+// Dense bitmaps used throughout the SDR stack.
+//
+// Two variants share one word-level layout:
+//  * Bitmap        — single-threaded, used by frontends, models, tests.
+//  * AtomicBitmap  — lock-free concurrent set/test, used by DPA workers that
+//                    update per-packet bitmaps from multiple threads
+//                    (paper §3.4.2: "atomically update the corresponding
+//                    chunk in the per-packet bitmap").
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdr {
+
+/// Number of 64-bit words required to hold `bits` bits.
+constexpr std::size_t bitmap_words(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t bits)
+      : bits_(bits), words_(bitmap_words(bits), 0) {}
+
+  std::size_t size() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(bitmap_words(bits), 0);
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear_all() { words_.assign(words_.size(), 0); }
+  void set_all() {
+    words_.assign(words_.size(), ~0ULL);
+    mask_tail();
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool all_set() const { return popcount() == bits_; }
+  bool none_set() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Index of the first zero bit, or size() if all bits are set. Used by
+  /// SR receivers to compute the cumulative ACK point.
+  std::size_t first_zero() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      const std::uint64_t inverted = ~words_[wi];
+      if (inverted != 0) {
+        const std::size_t bit =
+            (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(inverted));
+        return bit < bits_ ? bit : bits_;
+      }
+    }
+    return bits_;
+  }
+
+  /// Index of the first set bit, or size() if none. Used by EC receivers to
+  /// arm the fallback timeout when "the first bit is observed".
+  std::size_t first_set() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+      }
+    }
+    return bits_;
+  }
+
+  /// Append the zero-bit indices within [begin, end) to `out`.
+  /// Used by SR receivers/EC decoders to enumerate missing chunks.
+  void collect_zeros(std::size_t begin, std::size_t end,
+                     std::vector<std::size_t>& out) const {
+    for (std::size_t i = begin; i < end && i < bits_; ++i) {
+      if (!test(i)) out.push_back(i);
+    }
+  }
+
+  /// Raw word access — the SDR API hands the reliability layer a pointer to
+  /// the chunk bitmap (recv_bitmap_get), so the words are the wire/ABI form.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* words() { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
+ private:
+  void mask_tail() {
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << tail) - 1;
+    }
+  }
+
+  std::size_t bits_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+/// Concurrent bitmap with the semantics DPA workers need: `set_and_check`
+/// atomically sets a bit and reports whether this call was the one that set
+/// it (so exactly one worker performs the chunk-coalescing follow-up).
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>(bitmap_words(bits));
+    clear_all();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  void clear_all() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Atomically set bit i; returns true iff the bit transitioned 0 -> 1.
+  bool set_and_check(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_acquire) >> (i & 63)) & 1ULL;
+  }
+
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (const auto& w : words_)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_acquire)));
+    return n;
+  }
+
+  /// True iff all `count` bits in the word-aligned range starting at
+  /// `first` are set. `first` must be a multiple of 64 or the range must
+  /// stay within one word; DPA chunk coalescing always passes packet ranges
+  /// of a chunk, which the config layer aligns accordingly.
+  bool range_all_set(std::size_t first, std::size_t count) const {
+    std::size_t i = first;
+    const std::size_t end = first + count;
+    while (i < end) {
+      const std::size_t word = i >> 6;
+      const std::size_t bit = i & 63;
+      const std::size_t span = std::min<std::size_t>(64 - bit, end - i);
+      const std::uint64_t mask =
+          span == 64 ? ~0ULL : (((1ULL << span) - 1) << bit);
+      if ((words_[word].load(std::memory_order_acquire) & mask) != mask)
+        return false;
+      i += span;
+    }
+    return true;
+  }
+
+  /// Raw word access for consumers that poll the bitmap with plain loads
+  /// (host software reading DPA-updated memory). Word count follows
+  /// bitmap_words(size()).
+  const std::atomic<std::uint64_t>* word_data() const { return words_.data(); }
+  std::uint64_t load_word(std::size_t w) const {
+    return words_[w].load(std::memory_order_acquire);
+  }
+  std::size_t word_count() const { return words_.size(); }
+
+  /// First zero bit among the low `limit` bits (cumulative-ACK helper),
+  /// or `limit` if they are all set.
+  std::size_t first_zero(std::size_t limit) const {
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (!test(i)) return i;
+    }
+    return limit;
+  }
+
+ private:
+  std::size_t bits_{0};
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace sdr

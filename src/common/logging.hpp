@@ -1,0 +1,40 @@
+// Minimal leveled logging.
+//
+// The data path never logs (logging in a packet-rate loop would invalidate
+// every measurement); logging is for control-path events, test diagnostics
+// and bench harness progress.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sdr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// tests and benches stay quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const char* file, int line,
+                 const std::string& msg);
+
+namespace detail {
+std::string log_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define SDR_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::sdr::log_level())) \
+      ::sdr::log_message(level, __FILE__, __LINE__,                      \
+                         ::sdr::detail::log_format(__VA_ARGS__));        \
+  } while (0)
+
+#define SDR_DEBUG(...) SDR_LOG(::sdr::LogLevel::kDebug, __VA_ARGS__)
+#define SDR_INFO(...) SDR_LOG(::sdr::LogLevel::kInfo, __VA_ARGS__)
+#define SDR_WARN(...) SDR_LOG(::sdr::LogLevel::kWarn, __VA_ARGS__)
+#define SDR_ERROR(...) SDR_LOG(::sdr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace sdr

@@ -1,0 +1,61 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace sdr {
+namespace {
+
+std::string trim_number(double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (v >= 1024.0 && idx + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++idx;
+  }
+  return trim_number(v) + " " + kSuffix[idx];
+}
+
+std::string format_rate(double bits_per_second) {
+  static constexpr std::array<const char*, 5> kSuffix = {
+      "bit/s", "Kbit/s", "Mbit/s", "Gbit/s", "Tbit/s"};
+  double v = bits_per_second;
+  std::size_t idx = 0;
+  while (v >= 1000.0 && idx + 1 < kSuffix.size()) {
+    v /= 1000.0;
+    ++idx;
+  }
+  return trim_number(v) + " " + kSuffix[idx];
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  char buf[64];
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace sdr

@@ -1,0 +1,38 @@
+// Byte-size and bandwidth unit helpers shared across the stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sdr {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// Bandwidths are expressed in bits per second throughout the code base
+/// (the paper uses Gbit/s everywhere).
+inline constexpr double Gbps = 1e9;
+inline constexpr double Tbps = 1e12;
+
+/// Seconds to serialize `bytes` onto a link of `bits_per_second`.
+constexpr double injection_time_s(std::size_t bytes, double bits_per_second) {
+  return static_cast<double>(bytes) * 8.0 / bits_per_second;
+}
+
+/// Bandwidth-delay product in bytes for a link (`bits_per_second`, `rtt_s`).
+constexpr double bdp_bytes(double bits_per_second, double rtt_seconds) {
+  return bits_per_second * rtt_seconds / 8.0;
+}
+
+/// Human-readable rendering of a byte count ("128 MiB", "4 KiB", "3.5 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable rendering of a bit rate ("400 Gbit/s", "3.2 Tbit/s").
+std::string format_rate(double bits_per_second);
+
+/// Human-readable rendering of a duration in seconds ("25 ms", "3.2 us").
+std::string format_seconds(double seconds);
+
+}  // namespace sdr

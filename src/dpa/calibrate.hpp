@@ -1,0 +1,67 @@
+// DPA cost calibration and packet-rate scaling model.
+//
+// The paper's Figs 14-16 measure the offloaded SDR backend on BlueField-3
+// hardware with up to 128 DPA threads. This container exposes a single CPU
+// core, so the repository reproduces those figures in two steps, as
+// documented in DESIGN.md §1:
+//   1. MEASURE the per-CQE processing cost of the real backend code
+//      (MessageTable::process_completion through dpa::Engine::process) and
+//      the per-message receive repost cost on this host;
+//   2. FEED the measured costs into the multi-channel scaling model below —
+//      workers process disjoint rings, so aggregate packet rate scales
+//      linearly until it hits the wire's packet rate (the paper observes
+//      exactly this near-linear scaling, §5.4.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sdr/config.hpp"
+
+namespace sdr::dpa {
+
+struct Calibration {
+  double ns_per_cqe{0.0};       // receive-worker cost per packet completion
+  double ns_per_repost{0.0};    // receive slot rearm (bitmap clear + bind)
+  double ns_per_chunk_sync{0.0};// host chunk-bitmap update (PCIe proxy)
+};
+
+/// Measure per-CQE and per-repost costs of the real backend code on this
+/// host. `iterations` completions are timed over an armed message table.
+Calibration calibrate(const core::QpAttr& attr, std::size_t iterations = 1u << 20);
+
+/// Paper anchor for a BlueField-3 DPA hardware thread: §5.4.2 measures 16
+/// receive threads sustaining ~15 Mpps, i.e. ~0.94 Mpps per thread or
+/// ~1064 ns per completion. The DPA's 256 energy-efficient cores are far
+/// slower than this host's CPU core; figures that project DPA-thread
+/// scaling rescale the host calibration to this anchor so relative shapes
+/// (saturation points, thread counts) match the paper's hardware.
+inline constexpr double kDpaNsPerCqe = 1064.0;
+
+/// Rescale a host calibration to DPA-core speed (all costs scaled by the
+/// same factor — the code path is identical, only the core differs).
+inline Calibration dpa_anchored(const Calibration& host) {
+  const double factor =
+      host.ns_per_cqe > 0.0 ? kDpaNsPerCqe / host.ns_per_cqe : 1.0;
+  return Calibration{host.ns_per_cqe * factor, host.ns_per_repost * factor,
+                     host.ns_per_chunk_sync * factor};
+}
+
+/// Packets/s a pool of `workers` DPA threads sustains given the calibrated
+/// per-CQE cost (linear multi-channel scaling; rings are disjoint).
+double achievable_packet_rate(const Calibration& cal, std::size_t workers);
+
+/// Wire packet rate of a link: bandwidth / (MTU + header) in packets/s.
+double wire_packet_rate(double bandwidth_bps, std::size_t mtu_bytes);
+
+/// Modeled SDR goodput for a message of `msg_bytes` on a `bandwidth_bps`
+/// link with `workers` receive threads:
+///   time/msg = max(serialization, packet processing) + repost
+/// The repost (receive slot reallocation: mkey table update + bitmap
+/// cleanup) is serial host software on the message's critical path — the
+/// reason the paper's Fig 14 shows SDR trailing RC Writes below ~512 KiB.
+double modeled_throughput_bps(const Calibration& cal,
+                              const core::QpAttr& attr, double bandwidth_bps,
+                              std::size_t msg_bytes, std::size_t workers);
+
+}  // namespace sdr::dpa

@@ -1,0 +1,69 @@
+// Single-producer/single-consumer completion ring.
+//
+// Models the per-channel completion queues of the multi-channel SDR
+// offloading architecture (paper Figure 7): the NIC (producer) deposits one
+// raw completion per packet; one DPA worker thread (consumer) drains its
+// ring and runs the bitmap-update logic. Lock-free with acquire/release
+// indices, power-of-two capacity.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sdr::dpa {
+
+/// The 8-byte completion record a DPA worker consumes per packet: the
+/// 32-bit transport immediate plus the generation of the delivering QP.
+struct RawCqe {
+  std::uint32_t imm{0};
+  std::uint32_t generation{0};
+};
+
+class CompletionRing {
+ public:
+  explicit CompletionRing(std::size_t capacity_pow2 = 1 << 14)
+      : mask_(capacity_pow2 - 1), entries_(capacity_pow2) {
+    // capacity must be a power of two
+    if ((capacity_pow2 & mask_) != 0) {
+      entries_.assign(std::size_t{1} << 14, RawCqe{});
+      mask_ = entries_.size() - 1;
+    }
+  }
+
+  /// Producer: returns false when the ring is full (backpressure — the
+  /// bench generator spins, hardware would raise a CQ overrun).
+  bool push(RawCqe cqe) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    entries_[head & mask_] = cqe;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: returns false when empty.
+  bool pop(RawCqe& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = entries_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::size_t mask_;
+  std::vector<RawCqe> entries_;
+};
+
+}  // namespace sdr::dpa

@@ -1,0 +1,43 @@
+// Common interface for the erasure codecs compared in the paper (§5.1.1):
+// an MDS code (Reed-Solomon, like Intel ISA-L) and a RAID-style modulo-group
+// XOR code. The EC reliability layer (src/reliability) programs against this
+// interface so schemes can be swapped per connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdr::ec {
+
+/// Block presence map for decode: blocks [0, k) are data, [k, k+m) parity.
+using PresenceMap = std::vector<bool>;
+
+class ErasureCodec {
+ public:
+  virtual ~ErasureCodec() = default;
+
+  virtual std::size_t k() const = 0;  // data blocks per submessage
+  virtual std::size_t m() const = 0;  // parity blocks per submessage
+  virtual std::string name() const = 0;
+
+  /// Compute the m parity blocks from the k data blocks. All blocks have
+  /// identical `block_len`.
+  virtual void encode(std::span<const std::uint8_t* const> data,
+                      std::span<std::uint8_t* const> parity,
+                      std::size_t block_len) const = 0;
+
+  /// Can the data blocks be recovered given this presence pattern?
+  virtual bool can_recover(const PresenceMap& present) const = 0;
+
+  /// Reconstruct the missing *data* blocks in place. `blocks` holds all
+  /// k+m block pointers; entries marked absent in `present` (data only)
+  /// are output buffers to be filled. Returns false if unrecoverable.
+  virtual bool decode(std::span<std::uint8_t* const> blocks,
+                      const PresenceMap& present,
+                      std::size_t block_len) const = 0;
+};
+
+}  // namespace sdr::ec

@@ -1,0 +1,53 @@
+#include "ec/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sdr::ec {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t x, double p) {
+  if (x > n) return 0.0;
+  if (p <= 0.0) return x == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return x == n ? 1.0 : 0.0;
+  const double log_pmf = log_binomial_coefficient(n, x) +
+                         static_cast<double>(x) * std::log(p) +
+                         static_cast<double>(n - x) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_cdf(std::uint64_t n, std::uint64_t x, double p) {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return x >= n ? 1.0 : 0.0;
+  x = std::min(x, n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= x; ++i) acc += binomial_pmf(n, i, p);
+  return std::min(acc, 1.0);
+}
+
+double p_ec_mds(std::size_t k, std::size_t m, double p_drop) {
+  return binomial_cdf(k + m, m, p_drop);
+}
+
+double p_ec_xor(std::size_t k, std::size_t m, double p_drop) {
+  // n = chunks per modulo group: k/m data chunks + 1 parity chunk.
+  const double n = static_cast<double>(k) / static_cast<double>(m) + 1.0;
+  const double q = 1.0 - p_drop;
+  const double group_ok =
+      std::pow(q, n) + n * p_drop * std::pow(q, n - 1.0);
+  return std::pow(std::min(group_ok, 1.0), static_cast<double>(m));
+}
+
+double chunk_drop_probability(double p_packet_drop, std::size_t packets) {
+  // 1 - (1-p)^N computed via expm1/log1p for small p.
+  return -std::expm1(static_cast<double>(packets) * std::log1p(-p_packet_drop));
+}
+
+}  // namespace sdr::ec

@@ -1,0 +1,35 @@
+// Closed-form decode-success probabilities for the two erasure codes
+// (paper Appendix B) plus numerically careful binomial helpers used by the
+// completion-time models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdr::ec {
+
+/// log(n choose k) via lgamma — stable for the large chunk counts the
+/// models sweep (messages up to millions of chunks).
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Binomial(n, p) PMF: P(X == x).
+double binomial_pmf(std::uint64_t n, std::uint64_t x, double p);
+
+/// Binomial(n, p) CDF: P(X <= x). Exact summation in the log domain; the
+/// models call it with x = m <= 256 so the sum is short.
+double binomial_cdf(std::uint64_t n, std::uint64_t x, double p);
+
+/// Appendix B.0.1: probability that an MDS(k, m) submessage decodes —
+/// at most m drops among its k+m chunks.
+double p_ec_mds(std::size_t k, std::size_t m, double p_drop);
+
+/// Appendix B.0.2: probability that a modulo-group XOR(k, m) submessage
+/// decodes — every group of n = k/m + 1 chunks loses at most one chunk:
+///   [ (1-p)^n + n p (1-p)^(n-1) ]^m
+double p_ec_xor(std::size_t k, std::size_t m, double p_drop);
+
+/// Chunk-level drop probability when one bitmap chunk spans `packets`
+/// MTU packets (paper Fig 15): P = 1 - (1 - p_pkt)^packets.
+double chunk_drop_probability(double p_packet_drop, std::size_t packets);
+
+}  // namespace sdr::ec

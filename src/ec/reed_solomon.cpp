@@ -1,0 +1,140 @@
+#include "ec/reed_solomon.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#ifdef SDR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace sdr::ec {
+
+namespace {
+/// Block-len threshold above which encode parallelizes across byte ranges.
+constexpr std::size_t kParallelThreshold = 256 * 1024;
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  if (k == 0 || m == 0 || k + m > 256) {
+    throw std::invalid_argument(
+        "ReedSolomon requires 1 <= k, 1 <= m, k + m <= 256");
+  }
+  // x range [k, k+m), y range [0, k): disjoint, so xi ^ yj != 0... in
+  // integer terms they are distinct values < 256, and XOR of distinct
+  // values is nonzero.
+  parity_rows_ = GfMatrix::cauchy(m, k, static_cast<std::uint8_t>(k), 0);
+}
+
+std::string ReedSolomon::name() const {
+  return "RS(" + std::to_string(k_) + "," + std::to_string(m_) + ")";
+}
+
+void ReedSolomon::encode(std::span<const std::uint8_t* const> data,
+                         std::span<std::uint8_t* const> parity,
+                         std::size_t block_len) const {
+  assert(data.size() == k_ && parity.size() == m_);
+  const Gf256& gf = Gf256::instance();
+
+  // Cache-blocked, data-major loop: each 4 KiB sub-range keeps the data
+  // slice in L1 across all m parity rows instead of re-streaming every
+  // data block once per parity (the layout ISA-L-class encoders use).
+  constexpr std::size_t kCacheBlock = 4096;
+  auto encode_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t blk = begin; blk < end; blk += kCacheBlock) {
+      const std::size_t n = std::min(kCacheBlock, end - blk);
+      for (std::size_t p = 0; p < m_; ++p) {
+        gf.mul_set(parity[p] + blk, data[0] + blk, parity_rows_.at(p, 0), n);
+      }
+      for (std::size_t d = 1; d < k_; ++d) {
+        const std::uint8_t* src = data[d] + blk;
+        for (std::size_t p = 0; p < m_; ++p) {
+          gf.mul_acc(parity[p] + blk, src, parity_rows_.at(p, d), n);
+        }
+      }
+    }
+  };
+
+#ifdef SDR_HAVE_OPENMP
+  if (block_len >= kParallelThreshold) {
+    const int threads = omp_get_max_threads();
+    const std::size_t chunk = (block_len + threads - 1) / threads;
+#pragma omp parallel for schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      if (begin < block_len) {
+        encode_range(begin, std::min(block_len, begin + chunk));
+      }
+    }
+    return;
+  }
+#endif
+  encode_range(0, block_len);
+}
+
+bool ReedSolomon::can_recover(const PresenceMap& present) const {
+  assert(present.size() == k_ + m_);
+  std::size_t available = 0;
+  for (bool p : present) available += p ? 1 : 0;
+  return available >= k_;  // MDS: any k of k+m suffice
+}
+
+bool ReedSolomon::decode(std::span<std::uint8_t* const> blocks,
+                         const PresenceMap& present,
+                         std::size_t block_len) const {
+  assert(blocks.size() == k_ + m_ && present.size() == k_ + m_);
+  if (!can_recover(present)) return false;
+
+  // Which data blocks are missing?
+  std::vector<std::size_t> missing_data;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!present[i]) missing_data.push_back(i);
+  }
+  if (missing_data.empty()) return true;  // nothing to do
+
+  // Pick k present blocks (prefer data blocks: identity rows make the
+  // decode matrix sparser and the row selection cheaper to invert).
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k_);
+  for (std::size_t i = 0; i < k_ + m_ && chosen.size() < k_; ++i) {
+    if (present[i]) chosen.push_back(i);
+  }
+
+  // Build the k x k matrix mapping data -> chosen blocks and invert it.
+  GfMatrix selection(k_, k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    const std::size_t src = chosen[r];
+    if (src < k_) {
+      selection.at(r, src) = 1;  // identity row for a data block
+    } else {
+      for (std::size_t c = 0; c < k_; ++c) {
+        selection.at(r, c) = parity_rows_.at(src - k_, c);
+      }
+    }
+  }
+  GfMatrix inverse;
+  if (!selection.invert(inverse)) return false;  // cannot happen for Cauchy
+
+  // Reconstruct each missing data block d as:
+  //   data[d] = sum_r inverse[d][r] * blocks[chosen[r]]
+  const Gf256& gf = Gf256::instance();
+  for (std::size_t d : missing_data) {
+    std::uint8_t* out = blocks[d];
+    bool first = true;
+    for (std::size_t r = 0; r < k_; ++r) {
+      const std::uint8_t coeff = inverse.at(d, r);
+      if (coeff == 0) continue;
+      const std::uint8_t* src = blocks[chosen[r]];
+      if (first) {
+        gf.mul_set(out, src, coeff, block_len);
+        first = false;
+      } else {
+        gf.mul_acc(out, src, coeff, block_len);
+      }
+    }
+    if (first) std::memset(out, 0, block_len);
+  }
+  return true;
+}
+
+}  // namespace sdr::ec

@@ -1,0 +1,151 @@
+#include "model/ec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ec/probability.hpp"
+
+namespace sdr::model {
+
+double ec_submessage_success(const EcConfig& config, double p_drop) {
+  return config.kind == EcCodeKind::kMds
+             ? ec::p_ec_mds(config.k, config.m, p_drop)
+             : ec::p_ec_xor(config.k, config.m, p_drop);
+}
+
+double ec_fallback_probability(const EcConfig& config, double p_drop,
+                               std::uint64_t submessages) {
+  const double p_ok = ec_submessage_success(config, p_drop);
+  if (p_ok <= 0.0) return 1.0;
+  return -std::expm1(static_cast<double>(submessages) * std::log(p_ok));
+}
+
+std::uint64_t ec_wire_chunks(const EcConfig& config, std::uint64_t chunks) {
+  const double ratio = config.parity_ratio();
+  const auto parity = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(chunks) / ratio));
+  return chunks + parity;
+}
+
+double ec_expected_completion_s(const LinkParams& link, std::uint64_t chunks,
+                                const EcConfig& config) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  if (chunks == 0) return rtt;
+
+  const std::uint64_t wire = ec_wire_chunks(config, chunks);
+  const auto L = static_cast<std::uint64_t>(std::max<std::uint64_t>(
+      1, (chunks + config.k - 1) / config.k));
+
+  const double p_ok = ec_submessage_success(config, p);
+  const double p_fallback = ec_fallback_probability(config, p, L);
+  const double expected_failures = static_cast<double>(L) * (1.0 - p_ok);
+
+  // (1) Base: inject data and parity; receiver decodes in place; ACK.
+  double t = static_cast<double>(wire) * T + rtt;
+  // (2) Expected timeout wait + EC NACK delivery on fallback.
+  t += p_fallback * (rtt + config.beta * rtt);
+  // (3) Expected SR retransmission of the failed submessages. The final ACK
+  // of that phase is already accounted by the SR model's +RTT; remove the
+  // double-counted base ACK when fallback happens... the lower bound keeps
+  // both terms, matching the paper's additive formulation.
+  if (expected_failures > 1e-12) {
+    const auto retr_chunks = static_cast<std::uint64_t>(std::llround(
+        std::max(1.0, expected_failures * static_cast<double>(config.k))));
+    const double t_sr =
+        sr_expected_completion_s(link, retr_chunks, config.fallback);
+    t += p_fallback * (t_sr - rtt);  // SR phase; its trailing ACK replaces
+    // the base ACK already counted in (1), hence the -rtt.
+  }
+  return t;
+}
+
+double ec_completion_cdf(const LinkParams& link, std::uint64_t chunks,
+                         const EcConfig& config, double t_seconds) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  if (chunks == 0) return t_seconds >= rtt ? 1.0 : 0.0;
+  const std::uint64_t wire = ec_wire_chunks(config, chunks);
+  const double base = static_cast<double>(wire) * T;
+  const auto L = static_cast<std::uint64_t>(std::max<std::uint64_t>(
+      1, (chunks + config.k - 1) / config.k));
+  const double p_ok = ec_submessage_success(config, link.p_drop);
+  const double p_fail = 1.0 - p_ok;
+
+  // No-fallback branch: completion exactly at base + RTT.
+  double cdf = 0.0;
+  const double p_clean =
+      p_fail <= 0.0 ? 1.0
+                    : std::exp(static_cast<double>(L) * std::log(p_ok));
+  if (t_seconds >= base + rtt) cdf += p_clean;
+  if (p_clean >= 1.0) return std::min(cdf, 1.0);
+
+  // Fallback branch: F >= 1 failed submessages, each retransmitted as k
+  // SR chunks after the timeout slack and NACK round trip.
+  const double shift = base + config.beta * rtt + rtt;
+  for (std::uint64_t f = 1; f <= L; ++f) {
+    const double pmf = ec::binomial_pmf(L, f, p_fail);
+    if (pmf < 1e-15 && f > L * p_fail + 8) break;
+    if (pmf <= 0.0) continue;
+    cdf += pmf *
+           sr_completion_cdf(link, f * config.k, config.fallback,
+                             t_seconds - shift);
+  }
+  return std::min(cdf, 1.0);
+}
+
+double ec_completion_quantile(const LinkParams& link, std::uint64_t chunks,
+                              const EcConfig& config, double q) {
+  const double rtt = link.rtt_s;
+  if (chunks == 0) return rtt;
+  const std::uint64_t wire = ec_wire_chunks(config, chunks);
+  const double base = static_cast<double>(wire) * link.t_inj();
+  double lo = base + rtt - 1e-12;
+  // Upper bound: fallback of every submessage at a deep SR quantile.
+  const auto L = static_cast<std::uint64_t>(std::max<std::uint64_t>(
+      1, (chunks + config.k - 1) / config.k));
+  double hi = base + (1.0 + config.beta) * rtt +
+              sr_completion_quantile(link, L * config.k, config.fallback,
+                                     0.999999);
+  if (ec_completion_cdf(link, chunks, config, hi) < q) return hi;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ec_completion_cdf(link, chunks, config, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double ec_sample_completion_s(Rng& rng, const LinkParams& link,
+                              std::uint64_t chunks, const EcConfig& config) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  if (chunks == 0) return rtt;
+
+  const std::uint64_t wire = ec_wire_chunks(config, chunks);
+  const auto L = static_cast<std::uint64_t>(std::max<std::uint64_t>(
+      1, (chunks + config.k - 1) / config.k));
+  const double p_ok = ec_submessage_success(config, p);
+
+  const std::uint64_t failures = rng.binomial(L, 1.0 - p_ok);
+  double t = static_cast<double>(wire) * T;
+  if (failures == 0) {
+    return t + rtt;  // decoded in place; single ACK
+  }
+  // Fallback: receiver waits for FTO (injection + beta*RTT measured from
+  // the first received bit; the injection part coincides with the base
+  // term), sends a NACK, and the failed submessages are selectively
+  // repeated.
+  t += config.beta * rtt;          // timeout slack
+  t += rtt;                        // NACK delivery + first retransmissions
+  const std::uint64_t retr_chunks = failures * config.k;
+  t += sr_sample_completion_s(rng, link, retr_chunks, config.fallback);
+  return t;
+}
+
+}  // namespace sdr::model

@@ -1,0 +1,65 @@
+// Erasure-coding reliability completion-time model (paper §4.2.3).
+//
+// A message of M chunks is split into L = M/k data submessages, each
+// erasure-coded with m parity chunks. Parity is injected alongside the data
+// (bandwidth inflation m/k); a submessage whose losses exceed the code's
+// tolerance falls back to Selective Repeat after the receiver's fallback
+// timeout FTO expires.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "model/link_params.hpp"
+#include "model/sr_model.hpp"
+
+namespace sdr::model {
+
+enum class EcCodeKind { kMds, kXor };
+
+struct EcConfig {
+  std::size_t k{32};       // data chunks per submessage
+  std::size_t m{8};        // parity chunks per submessage
+  EcCodeKind kind{EcCodeKind::kMds};
+  /// FTO slack beyond the expected injection time, in RTTs (paper's beta).
+  double beta{0.5};
+  /// SR configuration used by the fallback retransmission phase.
+  SrConfig fallback{3.0};
+
+  double parity_ratio() const {
+    return static_cast<double>(k) / static_cast<double>(m);
+  }
+};
+
+/// Probability that one submessage decodes without fallback (Appendix B).
+double ec_submessage_success(const EcConfig& config, double p_drop);
+
+/// Probability that at least one of the L submessages requires fallback.
+double ec_fallback_probability(const EcConfig& config, double p_drop,
+                               std::uint64_t submessages);
+
+/// Lower-bound expectation E[T_EC(M)] in seconds (paper §4.2.3 terms:
+/// injection of data+parity, expected timeout + NACK delivery, expected SR
+/// retransmission of failed submessages, final ACK RTT).
+double ec_expected_completion_s(const LinkParams& link, std::uint64_t chunks,
+                                const EcConfig& config = EcConfig{});
+
+/// One stochastic sample of T_EC(M) in seconds.
+double ec_sample_completion_s(Rng& rng, const LinkParams& link,
+                              std::uint64_t chunks,
+                              const EcConfig& config = EcConfig{});
+
+/// Closed-form CDF of T_EC(M): a mixture of the no-fallback atom at
+/// (wire injection + RTT) and, over the conditional number of failed
+/// submessages F, the shifted SR retransmission distribution.
+double ec_completion_cdf(const LinkParams& link, std::uint64_t chunks,
+                         const EcConfig& config, double t_seconds);
+
+/// Inverse CDF by bisection — closed-form EC tails (e.g. q = 0.999).
+double ec_completion_quantile(const LinkParams& link, std::uint64_t chunks,
+                              const EcConfig& config, double q);
+
+/// Total chunks on the wire (data + parity) for an M-chunk message.
+std::uint64_t ec_wire_chunks(const EcConfig& config, std::uint64_t chunks);
+
+}  // namespace sdr::model

@@ -1,0 +1,43 @@
+// Parameters of the modeled long-haul link (paper §4.2.1 notation).
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sdr::model {
+
+struct LinkParams {
+  double bandwidth_bps{400 * Gbps};
+  double rtt_s{0.025};           // 25 ms ~ 3750 km of fiber
+  double p_drop{1e-5};           // per-CHUNK drop probability (i.i.d.)
+  std::size_t chunk_bytes{64 * KiB};
+
+  /// T_INJ: time to inject one chunk (paper: inverse of chunk size divided
+  /// by link bandwidth).
+  double t_inj() const {
+    return injection_time_s(chunk_bytes, bandwidth_bps);
+  }
+
+  static LinkParams from_distance(double bandwidth_bps, double km,
+                                  double p_drop, std::size_t chunk_bytes) {
+    LinkParams p;
+    p.bandwidth_bps = bandwidth_bps;
+    p.rtt_s = rtt_s_of(km);
+    p.p_drop = p_drop;
+    p.chunk_bytes = chunk_bytes;
+    return p;
+  }
+
+  static double rtt_s_of(double km) { return ::sdr::rtt_s(km); }
+};
+
+/// Ideal (lossless) Write completion time for M chunks: injection + RTT
+/// (last chunk propagates, ACK returns). The slowdown figures normalize by
+/// this.
+inline double ideal_completion_s(const LinkParams& link, std::size_t chunks) {
+  return static_cast<double>(chunks) * link.t_inj() + link.rtt_s;
+}
+
+}  // namespace sdr::model

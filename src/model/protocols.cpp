@@ -1,0 +1,98 @@
+#include "model/protocols.hpp"
+
+namespace sdr::model {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSrRto: return "SR RTO";
+    case Scheme::kSrNack: return "SR NACK";
+    case Scheme::kEcMds: return "EC MDS";
+    case Scheme::kEcXor: return "EC XOR";
+    case Scheme::kIdeal: return "Ideal";
+  }
+  return "?";
+}
+
+namespace {
+
+EcConfig ec_config_for(Scheme scheme, const SchemeParams& params) {
+  EcConfig cfg = params.ec;
+  cfg.kind = scheme == Scheme::kEcXor ? EcCodeKind::kXor : EcCodeKind::kMds;
+  return cfg;
+}
+
+}  // namespace
+
+double expected_completion_s(Scheme scheme, const LinkParams& link,
+                             std::uint64_t chunks,
+                             const SchemeParams& params) {
+  switch (scheme) {
+    case Scheme::kSrRto:
+      return sr_expected_completion_s(link, chunks, SrConfig{3.0});
+    case Scheme::kSrNack:
+      return sr_expected_completion_s(link, chunks, SrConfig{1.0});
+    case Scheme::kEcMds:
+    case Scheme::kEcXor:
+      return ec_expected_completion_s(link, chunks,
+                                      ec_config_for(scheme, params));
+    case Scheme::kIdeal:
+      return ideal_completion_s(link, chunks);
+  }
+  return 0.0;
+}
+
+double sample_completion_s(Scheme scheme, Rng& rng, const LinkParams& link,
+                           std::uint64_t chunks, const SchemeParams& params) {
+  switch (scheme) {
+    case Scheme::kSrRto:
+      return sr_sample_completion_s(rng, link, chunks, SrConfig{3.0});
+    case Scheme::kSrNack:
+      return sr_sample_completion_s(rng, link, chunks, SrConfig{1.0});
+    case Scheme::kEcMds:
+    case Scheme::kEcXor:
+      return ec_sample_completion_s(rng, link, chunks,
+                                    ec_config_for(scheme, params));
+    case Scheme::kIdeal:
+      return ideal_completion_s(link, chunks);
+  }
+  return 0.0;
+}
+
+double quantile_completion_s(Scheme scheme, const LinkParams& link,
+                             std::uint64_t chunks, double q,
+                             const SchemeParams& params) {
+  switch (scheme) {
+    case Scheme::kSrRto:
+      return sr_completion_quantile(link, chunks, SrConfig{3.0}, q);
+    case Scheme::kSrNack:
+      return sr_completion_quantile(link, chunks, SrConfig{1.0}, q);
+    case Scheme::kEcMds:
+    case Scheme::kEcXor:
+      return ec_completion_quantile(link, chunks,
+                                    ec_config_for(scheme, params), q);
+    case Scheme::kIdeal:
+      return ideal_completion_s(link, chunks);
+  }
+  return 0.0;
+}
+
+DistributionSummary sample_distribution(Scheme scheme, const LinkParams& link,
+                                        std::uint64_t chunks, std::uint64_t n,
+                                        std::uint64_t seed,
+                                        const SchemeParams& params) {
+  Rng rng(seed);
+  Histogram hist(1e-7, 1e5);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    hist.record(sample_completion_s(scheme, rng, link, chunks, params));
+  }
+  DistributionSummary out;
+  out.mean = hist.mean();
+  out.p50 = hist.percentile(50);
+  out.p99 = hist.percentile(99);
+  out.p999 = hist.percentile(99.9);
+  out.max = hist.max();
+  out.samples = n;
+  return out;
+}
+
+}  // namespace sdr::model

@@ -1,0 +1,67 @@
+// Unified view over the modeled reliability schemes, as the bench harness
+// and the protocol tuner consume them: expectation, stochastic sampler and
+// percentile estimation per scheme.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "model/ec_model.hpp"
+#include "model/link_params.hpp"
+#include "model/sr_model.hpp"
+
+namespace sdr::model {
+
+enum class Scheme {
+  kSrRto,    // Selective Repeat, RTO = 3 RTT (paper "SR RTO")
+  kSrNack,   // Selective Repeat, NACK ~ RTO = 1 RTT (paper "SR NACK")
+  kEcMds,    // EC with an MDS code (Reed-Solomon)
+  kEcXor,    // EC with the modulo-group XOR code
+  kIdeal,    // lossless reference
+};
+
+std::string scheme_name(Scheme scheme);
+
+struct SchemeParams {
+  SrConfig sr{3.0};
+  EcConfig ec{};  // k, m, kind set per scheme at call sites
+};
+
+/// Expected completion time in seconds for `chunks` chunks.
+double expected_completion_s(Scheme scheme, const LinkParams& link,
+                             std::uint64_t chunks,
+                             const SchemeParams& params = SchemeParams{});
+
+/// One stochastic sample.
+double sample_completion_s(Scheme scheme, Rng& rng, const LinkParams& link,
+                           std::uint64_t chunks,
+                           const SchemeParams& params = SchemeParams{});
+
+/// Closed-form q-quantile of the completion time (every scheme has an
+/// analytic CDF; the ideal scheme is deterministic).
+double quantile_completion_s(Scheme scheme, const LinkParams& link,
+                             std::uint64_t chunks, double q,
+                             const SchemeParams& params = SchemeParams{});
+
+struct DistributionSummary {
+  double mean{0.0};
+  double p50{0.0};
+  double p99{0.0};
+  double p999{0.0};
+  double max{0.0};
+  std::uint64_t samples{0};
+};
+
+/// Sample `n` completions and summarize (mean + tail percentiles). All
+/// randomness comes from `seed`, printed by the bench harness for exact
+/// reproduction.
+DistributionSummary sample_distribution(Scheme scheme, const LinkParams& link,
+                                        std::uint64_t chunks, std::uint64_t n,
+                                        std::uint64_t seed,
+                                        const SchemeParams& params = SchemeParams{});
+
+}  // namespace sdr::model

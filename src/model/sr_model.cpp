@@ -1,0 +1,176 @@
+#include "model/sr_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sdr::model {
+
+namespace {
+
+/// Retransmission counts with p^(v+1) below this threshold contribute less
+/// than ~1e-16 to log-probabilities and are ignored.
+int max_relevant_retries(double p_drop) {
+  if (p_drop <= 0.0) return 0;
+  return static_cast<int>(std::ceil(-16.0 / std::log10(p_drop))) + 2;
+}
+
+/// log P(max_i X_i <= t) for the SR chunk-time maximum: chunks are grouped
+/// by retransmission count v = floor((t - i*T)/O); count(v) chunks
+/// contribute log(1 - p^(v+1)); v beyond the relevance cut contribute ~0.
+double log_cdf_max_x(double t, double M, double T, double O, double p) {
+  if (t < M * T) return -std::numeric_limits<double>::infinity();
+  const int v_cut = max_relevant_retries(p);
+  double acc = 0.0;
+  const int v_min =
+      static_cast<int>(std::floor((t - M * T) / O));  // chunk M's count
+  for (int v = v_min; v <= v_min + v_cut; ++v) {
+    // Chunks i with v == floor((t - i*T)/O):  (t-(v+1)O)/T < i <= (t-vO)/T
+    const double hi_f = std::floor((t - static_cast<double>(v) * O) / T);
+    const double lo_f = std::floor((t - static_cast<double>(v + 1) * O) / T);
+    const double hi = std::min(hi_f, M);
+    const double lo = std::max(lo_f, 0.0);
+    const double count = hi - lo;
+    if (count <= 0.0) continue;
+    if (v < 0) return -std::numeric_limits<double>::infinity();
+    acc += count * std::log1p(-std::pow(p, v + 1));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double sr_expected_completion_s(const LinkParams& link, std::uint64_t chunks,
+                                const SrConfig& config) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  const auto M = static_cast<double>(chunks);
+  if (chunks == 0) return rtt;
+  if (p <= 0.0) return M * T + rtt;
+
+  const double O = config.rto_s(link) + T;  // overhead per failed attempt
+  const int v_cut = max_relevant_retries(p);
+  const auto log_cdf_max = [&](double t) {
+    return log_cdf_max_x(t, M, T, O, p);
+  };
+
+  // E[max X] = M*T + integral_{M*T}^inf P(max X > t) dt (tail-sum formula).
+  const double t0 = M * T;
+  const double step = O / 64.0;
+  const double horizon = static_cast<double>(v_cut + 2) * O;
+  double integral = 0.0;
+  for (double off = 0.0; off < horizon; off += step) {
+    const double t = t0 + off + 0.5 * step;
+    const double tail = -std::expm1(log_cdf_max(t));  // 1 - CDF
+    integral += tail * step;
+    if (tail < 1e-13 && off > O) break;
+  }
+  return t0 + integral + rtt;
+}
+
+double sr_completion_cdf(const LinkParams& link, std::uint64_t chunks,
+                         const SrConfig& config, double t_seconds) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  const auto M = static_cast<double>(chunks);
+  if (chunks == 0) return t_seconds >= rtt ? 1.0 : 0.0;
+  if (p <= 0.0) return t_seconds >= M * T + rtt ? 1.0 : 0.0;
+  const double O = config.rto_s(link) + T;
+  // T_SR = max X + RTT.
+  const double log_cdf = log_cdf_max_x(t_seconds - rtt, M, T, O, p);
+  return std::exp(log_cdf);
+}
+
+double sr_completion_quantile(const LinkParams& link, std::uint64_t chunks,
+                              const SrConfig& config, double q) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  const auto M = static_cast<double>(chunks);
+  if (chunks == 0) return rtt;
+  if (p <= 0.0 || q <= 0.0) return M * T + rtt;
+  const double O = config.rto_s(link) + T;
+  const int v_cut = max_relevant_retries(p);
+
+  double lo = M * T + rtt;
+  double hi = lo + static_cast<double>(v_cut + 2) * O;
+  if (sr_completion_cdf(link, chunks, config, hi) < q) return hi;  // q ~ 1
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sr_completion_cdf(link, chunks, config, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double sr_sample_completion_s(Rng& rng, const LinkParams& link,
+                              std::uint64_t chunks, const SrConfig& config) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  if (chunks == 0) return rtt;
+  if (p <= 0.0) return static_cast<double>(chunks) * T + rtt;
+
+  const double O = config.rto_s(link) + T;
+
+  // Binomial thinning: only the chunks that fail at least once matter.
+  std::uint64_t n = rng.binomial(chunks, p);
+  n = std::min(n, chunks);
+  if (n == 0) return static_cast<double>(chunks) * T + rtt;
+
+  std::vector<std::uint64_t> dropped;
+  dropped.reserve(n);
+  double max_x = 0.0;
+  for (std::uint64_t j = 0; j < n; ++j) {
+    const std::uint64_t i = rng.next_below(chunks) + 1;  // 1-based index
+    dropped.push_back(i);
+    // Z | Z >= 1 has the same law as a fresh Geometric(1-p) (support >= 1).
+    const std::uint64_t z = rng.geometric(1.0 - p);
+    const double x = static_cast<double>(i) * T +
+                     O * static_cast<double>(std::min<std::uint64_t>(z, 1u << 20));
+    max_x = std::max(max_x, x);
+  }
+
+  // Contribution of the never-dropped chunks: largest index not in the
+  // dropped set completes at i*T.
+  std::sort(dropped.begin(), dropped.end(), std::greater<>());
+  dropped.erase(std::unique(dropped.begin(), dropped.end()), dropped.end());
+  std::uint64_t clean_max = chunks;
+  for (std::uint64_t d : dropped) {
+    if (d == clean_max) {
+      --clean_max;
+    } else if (d < clean_max) {
+      break;
+    }
+  }
+  if (clean_max > 0) {
+    max_x = std::max(max_x, static_cast<double>(clean_max) * T);
+  }
+  return max_x + rtt;
+}
+
+double sr_sample_completion_direct_s(Rng& rng, const LinkParams& link,
+                                     std::uint64_t chunks,
+                                     const SrConfig& config) {
+  const double T = link.t_inj();
+  const double rtt = link.rtt_s;
+  const double p = link.p_drop;
+  if (chunks == 0) return rtt;
+  const double O = config.rto_s(link) + T;
+  double max_x = 0.0;
+  for (std::uint64_t i = 1; i <= chunks; ++i) {
+    const std::uint64_t y = p > 0.0 ? rng.geometric(1.0 - p) : 1;  // transmissions
+    const double x = static_cast<double>(i) * T +
+                     O * static_cast<double>(std::min<std::uint64_t>(y - 1, 1u << 20));
+    max_x = std::max(max_x, x);
+  }
+  return max_x + rtt;
+}
+
+}  // namespace sdr::model

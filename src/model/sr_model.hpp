@@ -1,0 +1,63 @@
+// Selective Repeat message-completion-time model (paper §4.2.2, Appendix A).
+//
+// A message of M chunks is injected back-to-back. Chunk i starts at
+// t_start(i) = i * T_INJ; each failed transmission costs O = RTO + T_INJ;
+// the number of transmissions Y_i is geometric with success 1 - P_drop.
+// Completion time is max_i X_i + RTT with X_i = t_start(i) + O*(Y_i - 1).
+//
+// Two evaluators (paper §5.1.1):
+//  * analytical expectation via the tail-sum formula of Appendix A,
+//    evaluated by numerically integrating P(max X > t) with the chunks
+//    grouped by retransmission count (exact up to quadrature error);
+//  * stochastic sampler for percentiles, using binomial thinning so a
+//    sample costs O(M * P_drop) instead of O(M).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "model/link_params.hpp"
+
+namespace sdr::model {
+
+struct SrConfig {
+  /// RTO as a multiple of RTT. The paper's "SR RTO" scenario uses 3 RTT;
+  /// "SR NACK" is approximated as 1 RTT (best-case negative-ack).
+  double rto_rtt_multiple{3.0};
+
+  double rto_s(const LinkParams& link) const {
+    return rto_rtt_multiple * link.rtt_s;
+  }
+};
+
+inline SrConfig sr_rto_config() { return SrConfig{3.0}; }
+inline SrConfig sr_nack_config() { return SrConfig{1.0}; }
+
+/// Analytical E[T_SR(M)] in seconds (Appendix A).
+double sr_expected_completion_s(const LinkParams& link, std::uint64_t chunks,
+                                const SrConfig& config = SrConfig{});
+
+/// Closed-form CDF of the completion time: P(T_SR(M) <= t). Appendix A
+/// derives the tail; the CDF is its complement evaluated directly from the
+/// per-chunk geometric laws.
+double sr_completion_cdf(const LinkParams& link, std::uint64_t chunks,
+                         const SrConfig& config, double t_seconds);
+
+/// Inverse CDF by bisection: the q-quantile (q in (0,1)) of T_SR(M).
+/// Closed-form tails, e.g. q = 0.999 for the paper's p99.9 figures,
+/// without Monte-Carlo noise.
+double sr_completion_quantile(const LinkParams& link, std::uint64_t chunks,
+                              const SrConfig& config, double q);
+
+/// One stochastic sample of T_SR(M) in seconds.
+double sr_sample_completion_s(Rng& rng, const LinkParams& link,
+                              std::uint64_t chunks,
+                              const SrConfig& config = SrConfig{});
+
+/// Direct O(M) reference sampler (used by validation tests to check the
+/// fast thinning sampler).
+double sr_sample_completion_direct_s(Rng& rng, const LinkParams& link,
+                                     std::uint64_t chunks,
+                                     const SrConfig& config = SrConfig{});
+
+}  // namespace sdr::model

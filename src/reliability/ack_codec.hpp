@@ -1,0 +1,53 @@
+// Wire encoding of the control-path ACK/NACK messages (paper §4.1.1-§4.1.2).
+//
+// SR ACKs compactly encode the receiver's bitmap in two parts: a cumulative
+// ACK (highest chunk below which everything arrived) plus a selective
+// bitmap window starting there. NACKs list explicit chunk indices. EC ACKs
+// signal full-message recovery; EC NACKs list failed data submessages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sdr::reliability {
+
+enum class ControlType : std::uint8_t {
+  kSrAck = 1,
+  kSrNack = 2,
+  kEcAck = 3,
+  kEcNack = 4,
+  // Eager small-message path (the rendezvous-vs-eager optimization the
+  // paper's §4.1 control-path freedom enables, citing [43]): payload rides
+  // the control datagram, skipping the SDR CTS round trip.
+  kEagerData = 5,
+  kEagerAck = 6,
+};
+
+struct ControlMessage {
+  ControlType type{ControlType::kSrAck};
+  std::uint64_t msg_number{0};   // SDR message number of the (first) message
+
+  // kSrAck
+  std::uint32_t cumulative{0};           // chunks [0, cumulative) received
+  std::uint32_t selective_base{0};       // first chunk the window describes
+  std::vector<std::uint64_t> selective;  // bitmap window words
+
+  // kSrNack / kEcNack
+  std::vector<std::uint32_t> indices;    // missing chunks / failed submsgs
+
+  // kEagerData
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const ControlMessage&) const = default;
+};
+
+/// Serialize into a datagram payload (must fit the control MTU; the window
+/// and index list are truncated by the callers to guarantee this).
+std::vector<std::uint8_t> encode_control(const ControlMessage& msg);
+
+/// Parse; returns std::nullopt on malformed/truncated input.
+std::optional<ControlMessage> decode_control(const std::uint8_t* data,
+                                             std::size_t length);
+
+}  // namespace sdr::reliability

@@ -1,0 +1,180 @@
+// Executable erasure-coding reliability over the SDR API (paper §4.1.2).
+//
+// Sender: splits the message into L data submessages of k chunks, encodes m
+// parity chunks per submessage, and injects data (streaming sends, kept open
+// so the fallback path can retransmit into the same buffers) followed by
+// parity (one-shot sends — parity is never retransmitted). On a positive
+// ACK the buffers are released; on an EC NACK the listed submessages switch
+// to Selective Repeat.
+//
+// Receiver: posts L data receive buffers (regions of the application buffer
+// — zero copy) and L parity scratch buffers. Chunk-bitmap events drive
+// decodability checks; once every submessage is recoverable the missing
+// data chunks are EC-decoded in place and a positive ACK is sent. A
+// fallback timeout FTO = (M + M/R)*T_INJ + beta*RTT armed at the first
+// received chunk triggers an EC NACK listing the failed submessages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ec/codec.hpp"
+#include "reliability/ack_codec.hpp"
+#include "reliability/control_link.hpp"
+#include "reliability/profile.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdr::reliability {
+
+struct EcProtoConfig {
+  std::size_t k{32};
+  std::size_t m{8};
+  /// FTO slack beyond injection, in RTTs (paper's beta = 0.5 alpha).
+  double beta{0.5};
+  /// Fallback Selective Repeat RTO.
+  double fallback_rto_s{0.075};
+  /// Fallback receiver ACK cadence.
+  double fallback_ack_interval_s{0.005};
+  /// Abort safety net (multiples of FTO); paper: "a global timeout is also
+  /// set at message posting to prevent deadlock".
+  double global_timeout_factor{50.0};
+  std::size_t final_ack_repeats{3};
+};
+
+struct EcSenderStats {
+  std::uint64_t messages{0};
+  std::uint64_t data_chunks_sent{0};
+  std::uint64_t parity_chunks_sent{0};
+  std::uint64_t fallback_retransmissions{0};
+  std::uint64_t ec_nacks{0};
+};
+
+class EcSender {
+ public:
+  using DoneFn = std::function<void(const Status&)>;
+
+  EcSender(sim::Simulator& simulator, core::Qp& qp, ControlLink& control,
+           const LinkProfile& profile, const ec::ErasureCodec& codec,
+           EcProtoConfig config);
+
+  /// Message length must be a whole number of submessages
+  /// (k * chunk_size); callers pad to this granularity.
+  Status write(const std::uint8_t* data, std::size_t length, DoneFn done);
+
+  const EcSenderStats& stats() const { return stats_; }
+
+ private:
+  struct MsgState {
+    const std::uint8_t* data{nullptr};
+    std::size_t length{0};
+    std::size_t submessages{0};
+    std::vector<core::SendHandle*> data_handles;    // streaming, kept open
+    std::vector<core::SendHandle*> parity_handles;  // one-shot
+    std::vector<std::uint8_t> parity;               // encoded parity buffer
+    // Fallback SR state, indexed [submessage][chunk-in-submessage].
+    std::vector<std::vector<sim::EventId>> timers;
+    std::vector<Bitmap> acked;        // per-submessage chunk acks
+    std::vector<bool> sub_done;
+    std::size_t subs_pending_fallback{0};
+    DoneFn done;
+  };
+
+  void on_control(const std::uint8_t* data, std::size_t length);
+  void enter_fallback(MsgState& msg, std::uint64_t base,
+                      const std::vector<std::uint32_t>& failed);
+  void fallback_send(MsgState& msg, std::uint64_t base, std::size_t sub,
+                     std::size_t chunk, bool retransmission);
+  void arm_fallback_timer(std::uint64_t base, std::size_t sub,
+                          std::size_t chunk);
+  void apply_fallback_ack(MsgState& msg, std::uint64_t base, std::size_t sub,
+                          const ControlMessage& ack);
+  void finish(std::uint64_t base);
+  void reap(core::SendHandle* handle);
+
+  sim::Simulator& sim_;
+  core::Qp& qp_;
+  ControlLink& control_;
+  LinkProfile profile_;
+  const ec::ErasureCodec& codec_;
+  EcProtoConfig config_;
+  std::size_t chunk_bytes_;
+  // Keyed by the base (first data submessage) SDR message number.
+  std::unordered_map<std::uint64_t, MsgState> messages_;
+  // Maps any data submessage msg_number -> base (for fallback ACK routing).
+  std::unordered_map<std::uint64_t, std::uint64_t> sub_to_base_;
+  EcSenderStats stats_;
+};
+
+struct EcReceiverStats {
+  std::uint64_t messages{0};
+  std::uint64_t decoded_submessages{0};   // recovered via parity
+  std::uint64_t clean_submessages{0};     // all data chunks arrived
+  std::uint64_t fallback_submessages{0};  // needed SR retransmission
+  std::uint64_t ec_nacks_sent{0};
+  std::uint64_t ftos_fired{0};
+};
+
+class EcReceiver {
+ public:
+  using DoneFn = std::function<void(const Status&)>;
+
+  EcReceiver(sim::Simulator& simulator, core::Qp& qp, ControlLink& control,
+             const LinkProfile& profile, const ec::ErasureCodec& codec,
+             EcProtoConfig config);
+
+  /// Post `buffer` for the next incoming EC message. Length must be a whole
+  /// number of submessages. Fires `done` once all data chunks are present
+  /// or recovered (and all receives completed).
+  Status expect(std::uint8_t* buffer, std::size_t length,
+                const verbs::MemoryRegion* mr, DoneFn done);
+
+  const EcReceiverStats& stats() const { return stats_; }
+
+ private:
+  struct MsgState {
+    std::uint8_t* buffer{nullptr};
+    std::size_t length{0};
+    std::size_t submessages{0};
+    std::vector<core::RecvHandle*> data_handles;
+    std::vector<core::RecvHandle*> parity_handles;
+    std::vector<std::uint8_t> parity_scratch;
+    const verbs::MemoryRegion* parity_mr{nullptr};
+    std::vector<bool> sub_recovered;
+    std::size_t subs_recovered{0};
+    bool fto_armed{false};
+    bool fallback{false};
+    bool complete{false};
+    sim::EventId fto_timer{0};
+    sim::EventId global_timer{0};
+    sim::EventId ack_timer{0};
+    DoneFn done;
+  };
+
+  void on_chunk_event(const core::RecvEvent& event);
+  bool submessage_recoverable(const MsgState& msg, std::size_t sub) const;
+  bool try_recover(MsgState& msg, std::size_t sub);
+  void check_message(MsgState& msg, std::uint64_t base);
+  void arm_fto(MsgState& msg, std::uint64_t base);
+  void on_fto(std::uint64_t base);
+  void fallback_ack_tick(std::uint64_t base);
+  void send_fallback_acks(MsgState& msg, std::uint64_t base);
+  void complete(MsgState& msg, std::uint64_t base);
+
+  sim::Simulator& sim_;
+  core::Qp& qp_;
+  ControlLink& control_;
+  LinkProfile profile_;
+  const ec::ErasureCodec& codec_;
+  EcProtoConfig config_;
+  std::size_t chunk_bytes_;
+  std::unordered_map<std::uint64_t, MsgState> messages_;
+  std::unordered_map<std::uint64_t, std::uint64_t> handle_to_base_;
+  EcReceiverStats stats_;
+};
+
+}  // namespace sdr::reliability

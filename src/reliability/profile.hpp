@@ -1,0 +1,27 @@
+// Deployment profile of a sender-receiver path, consumed by the executable
+// reliability protocols (timeout computation) and the protocol tuner.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "model/link_params.hpp"
+
+namespace sdr::reliability {
+
+struct LinkProfile {
+  double bandwidth_bps{400 * Gbps};
+  double rtt_s{0.025};
+  double p_drop_packet{1e-5};  // per-MTU-packet drop estimate
+  std::size_t mtu{4096};
+  std::size_t chunk_bytes{64 * KiB};
+
+  double chunk_injection_s() const {
+    return injection_time_s(chunk_bytes, bandwidth_bps);
+  }
+
+  /// Model-level view (chunk-granularity drop probability).
+  model::LinkParams to_model() const;
+};
+
+}  // namespace sdr::reliability

@@ -1,0 +1,259 @@
+#include "reliability/reliable_channel.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "ec/reed_solomon.hpp"
+#include "ec/xor_code.hpp"
+
+namespace sdr::reliability {
+
+void ReliableChannel::Options::derive_timeouts() {
+  const double rtt = profile.rtt_s;
+  const bool nack = kind == Kind::kSrNack || kind == Kind::kAuto;
+  sr.rto_s = (nack ? 1.5 : 3.0) * rtt;
+  sr.nack_enabled = nack;
+  sr.ack_interval_s = std::max(rtt / 16.0, profile.chunk_injection_s() * 8.0);
+  sr.nack_holdoff_s = rtt;
+  ec.fallback_rto_s = 3.0 * rtt;
+  ec.fallback_ack_interval_s = sr.ack_interval_s;
+  eager_rto_s = 1.5 * rtt;
+}
+
+ReliableChannel::ReliableChannel(sim::Simulator& simulator, verbs::Nic& src,
+                                 verbs::Nic& dst, Options options)
+    : sim_(simulator), options_(options) {
+  src_ctx_ = std::make_unique<core::Context>(src, core::DevAttr{});
+  dst_ctx_ = std::make_unique<core::Context>(dst, core::DevAttr{});
+  src_qp_ = src_ctx_->create_qp(options_.attr);
+  dst_qp_ = dst_ctx_->create_qp(options_.attr);
+  src_qp_->connect(dst_qp_->info());
+  dst_qp_->connect(src_qp_->info());
+
+  src_control_ = std::make_unique<ControlLink>(src);
+  dst_control_ = std::make_unique<ControlLink>(dst);
+  src_control_->connect(dst.id(), dst_control_->qp_number());
+  dst_control_->connect(src.id(), src_control_->qp_number());
+
+  switch (options_.kind) {
+    case Kind::kSrRto:
+    case Kind::kSrNack:
+    case Kind::kAuto:  // the SR arm; the EC arm is a nested channel below
+      sr_sender_ = std::make_unique<SrSender>(sim_, *src_qp_, *src_control_,
+                                              options_.profile, options_.sr);
+      sr_receiver_ = std::make_unique<SrReceiver>(
+          sim_, *dst_qp_, *dst_control_, options_.profile, options_.sr);
+      break;
+    case Kind::kEcMds:
+      codec_ = std::make_unique<ec::ReedSolomon>(options_.ec.k, options_.ec.m);
+      break;
+    case Kind::kEcXor:
+      codec_ = std::make_unique<ec::XorCode>(options_.ec.k, options_.ec.m);
+      break;
+  }
+  if (options_.kind == Kind::kAuto) {
+    Options ec_options = options_;
+    ec_options.kind = Kind::kEcMds;
+    ec_options.eager_threshold_bytes = 0;  // eager handled by this layer
+    auto_ec_ = std::unique_ptr<ReliableChannel>(
+        new ReliableChannel(simulator, src, dst, ec_options));
+  }
+  if (codec_) {
+    ec_sender_ = std::make_unique<EcSender>(sim_, *src_qp_, *src_control_,
+                                            options_.profile, *codec_,
+                                            options_.ec);
+    ec_receiver_ = std::make_unique<EcReceiver>(sim_, *dst_qp_, *dst_control_,
+                                                options_.profile, *codec_,
+                                                options_.ec);
+  }
+
+  if (options_.eager_threshold_bytes > 0) {
+    // Interpose on both control links: eager data/acks are consumed here,
+    // everything else forwarded to the protocol handler installed above.
+    protocol_src_handler_ = src_control_->receiver();
+    src_control_->set_receiver(
+        [this](const std::uint8_t* d, std::size_t n) { on_src_control(d, n); });
+    dst_control_->set_receiver(
+        [this](const std::uint8_t* d, std::size_t n) { on_dst_control(d, n); });
+  }
+}
+
+ReliableChannel::~ReliableChannel() = default;
+
+Status ReliableChannel::send(const std::uint8_t* data, std::size_t length,
+                             DoneFn done) {
+  if (options_.eager_threshold_bytes > 0 &&
+      length <= options_.eager_threshold_bytes) {
+    return eager_send(data, length, std::move(done));
+  }
+  if (auto_ec_ && auto_use_ec(length)) {
+    ++auto_ec_count_;
+    return auto_ec_->send(data, length, std::move(done));
+  }
+  if (auto_ec_) ++auto_sr_count_;
+  if (sr_sender_) return sr_sender_->write(data, length, std::move(done));
+  return ec_sender_->write(data, length, std::move(done));
+}
+
+Status ReliableChannel::recv(std::uint8_t* buffer, std::size_t length,
+                             DoneFn done) {
+  if (options_.eager_threshold_bytes > 0 &&
+      length <= options_.eager_threshold_bytes) {
+    return eager_recv(buffer, length, std::move(done));
+  }
+  if (auto_ec_ && auto_use_ec(length)) {
+    return auto_ec_->recv(buffer, length, std::move(done));
+  }
+  const verbs::MemoryRegion* mr = recv_mr(buffer, length);
+  if (mr == nullptr) {
+    return Status(StatusCode::kInternal, "memory registration failed");
+  }
+  if (sr_receiver_) {
+    return sr_receiver_->expect(buffer, length, mr, std::move(done));
+  }
+  return ec_receiver_->expect(buffer, length, mr, std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+// Eager small-message path: payload in the control datagram, stop-and-wait
+// reliability, no CTS round trip. Sizes are known on both sides, so the
+// eager/rendezvous split never desynchronizes the order-based matching.
+// ---------------------------------------------------------------------------
+
+Status ReliableChannel::eager_send(const std::uint8_t* data,
+                                   std::size_t length, DoneFn done) {
+  if (length == 0 || length > 4000) {
+    return Status(StatusCode::kInvalidArgument,
+                  "eager payload must fit one control datagram");
+  }
+  const std::uint64_t id = eager_send_seq_++;
+  EagerSend& state = eager_sends_[id];
+  state.payload.assign(data, data + length);
+  state.done = std::move(done);
+  eager_transmit(id);
+  return Status::ok();
+}
+
+void ReliableChannel::eager_transmit(std::uint64_t id) {
+  const auto it = eager_sends_.find(id);
+  if (it == eager_sends_.end()) return;
+  EagerSend& state = it->second;
+  ++state.attempts;
+
+  ControlMessage msg;
+  msg.type = ControlType::kEagerData;
+  msg.msg_number = id;
+  msg.payload = state.payload;
+  const auto wire = encode_control(msg);
+  src_control_->send(wire.data(), wire.size());
+
+  state.timer = sim_.schedule(SimTime::from_seconds(options_.eager_rto_s),
+                              [this, id] { eager_transmit(id); });
+}
+
+Status ReliableChannel::eager_recv(std::uint8_t* buffer, std::size_t length,
+                                   DoneFn done) {
+  const std::uint64_t id = eager_recv_seq_++;
+  // Data may have raced ahead of the posted receive.
+  if (const auto it = eager_stash_.find(id); it != eager_stash_.end()) {
+    const std::size_t n = std::min(length, it->second.size());
+    std::memcpy(buffer, it->second.data(), n);
+    eager_stash_.erase(it);
+    ++eager_completed_;
+    if (done) done(Status::ok());
+    return Status::ok();
+  }
+  eager_recvs_[id] = EagerRecv{buffer, length, std::move(done)};
+  return Status::ok();
+}
+
+void ReliableChannel::on_dst_control(const std::uint8_t* data,
+                                     std::size_t length) {
+  const auto parsed = decode_control(data, length);
+  if (!parsed) return;
+  if (parsed->type != ControlType::kEagerData) return;  // receivers only
+  // Always acknowledge — duplicates mean the previous ack was lost.
+  ControlMessage ack;
+  ack.type = ControlType::kEagerAck;
+  ack.msg_number = parsed->msg_number;
+  const auto wire = encode_control(ack);
+  dst_control_->send(wire.data(), wire.size());
+
+  if (const auto it = eager_recvs_.find(parsed->msg_number);
+      it != eager_recvs_.end()) {
+    const std::size_t n = std::min(it->second.length, parsed->payload.size());
+    std::memcpy(it->second.buffer, parsed->payload.data(), n);
+    DoneFn done = std::move(it->second.done);
+    eager_recvs_.erase(it);
+    ++eager_completed_;
+    if (done) done(Status::ok());
+  } else if (parsed->msg_number >= eager_recv_seq_) {
+    // Early data for a not-yet-posted receive: stash one copy.
+    eager_stash_.emplace(parsed->msg_number, parsed->payload);
+  }  // else: duplicate of an already-completed message — ack was enough
+}
+
+void ReliableChannel::on_src_control(const std::uint8_t* data,
+                                     std::size_t length) {
+  const auto parsed = decode_control(data, length);
+  if (parsed && parsed->type == ControlType::kEagerAck) {
+    const auto it = eager_sends_.find(parsed->msg_number);
+    if (it != eager_sends_.end()) {
+      if (it->second.timer != 0) sim_.cancel(it->second.timer);
+      DoneFn done = std::move(it->second.done);
+      eager_sends_.erase(it);
+      if (done) done(Status::ok());
+    }
+    return;
+  }
+  // Everything else belongs to the SR/EC sender protocol.
+  if (protocol_src_handler_) protocol_src_handler_(data, length);
+}
+
+std::uint64_t ReliableChannel::retransmissions() const {
+  std::uint64_t total = auto_ec_ ? auto_ec_->retransmissions() : 0;
+  if (sr_sender_) return total + sr_sender_->stats().retransmissions;
+  return total + ec_sender_->stats().fallback_retransmissions;
+}
+
+// Model-guided routing for kAuto: both endpoints evaluate the same pure
+// function of the message length, so their order-based matching on the two
+// underlying QP pairs never desynchronizes.
+bool ReliableChannel::auto_use_ec(std::size_t length) {
+  // EC requires whole submessages; anything else goes SR.
+  const std::size_t granularity = options_.ec.k * options_.attr.chunk_size;
+  if (length % granularity != 0) return false;
+
+  const std::size_t bucket = std::bit_width(length);
+  if (const auto it = auto_choice_cache_.find(bucket);
+      it != auto_choice_cache_.end()) {
+    return it->second;
+  }
+  const model::LinkParams link = options_.profile.to_model();
+  const std::uint64_t chunks = length / options_.attr.chunk_size;
+  model::SchemeParams params;
+  params.ec.k = options_.ec.k;
+  params.ec.m = options_.ec.m;
+  const double t_sr = model::expected_completion_s(
+      options_.sr.nack_enabled ? model::Scheme::kSrNack
+                               : model::Scheme::kSrRto,
+      link, chunks);
+  const double t_ec = model::expected_completion_s(model::Scheme::kEcMds,
+                                                   link, chunks, params);
+  const bool use_ec = t_ec < t_sr;
+  auto_choice_cache_[bucket] = use_ec;
+  return use_ec;
+}
+
+const verbs::MemoryRegion* ReliableChannel::recv_mr(std::uint8_t* buffer,
+                                                    std::size_t length) {
+  const auto key = std::make_pair(buffer, length);
+  if (const auto it = mr_cache_.find(key); it != mr_cache_.end()) {
+    return it->second;
+  }
+  const verbs::MemoryRegion* mr = dst_ctx_->mr_reg(buffer, length);
+  mr_cache_.emplace(key, mr);
+  return mr;
+}
+
+}  // namespace sdr::reliability

@@ -1,0 +1,135 @@
+// ReliableChannel: a unidirectional reliable Write pipe between two NICs,
+// bundling the full two-connection design of paper §4.1 — an SDR data-path
+// QP pair plus a UD control-path link — under a chosen reliability scheme.
+// This is the composition layer examples and the executable collectives use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/status.hpp"
+#include "ec/codec.hpp"
+#include "reliability/control_link.hpp"
+#include "reliability/ec_protocol.hpp"
+#include "reliability/profile.hpp"
+#include "model/protocols.hpp"
+#include "reliability/sr_protocol.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdr::reliability {
+
+class ReliableChannel {
+ public:
+  /// kAuto is the §5.2 "guided choice" automated per message: the channel
+  /// hosts BOTH an SR and an EC stack (two SDR QP pairs on the same NICs)
+  /// and routes every message to the scheme the completion-time model
+  /// predicts is faster for its size — both endpoints classify by length,
+  /// so order-based matching stays consistent without negotiation.
+  enum class Kind { kSrRto, kSrNack, kEcMds, kEcXor, kAuto };
+
+  struct Options {
+    Kind kind{Kind::kSrRto};
+    LinkProfile profile{};
+    core::QpAttr attr{};
+    SrProtoConfig sr{};
+    EcProtoConfig ec{};
+
+    /// Eager small-message path (the §4.1 rendezvous-vs-eager freedom,
+    /// citing [43]): messages up to this many bytes ride the control-path
+    /// datagram directly, skipping the SDR CTS round trip. 0 disables.
+    /// Bounded by the control datagram size (~4000 B of payload).
+    std::size_t eager_threshold_bytes{0};
+    /// Eager retransmission timeout (stop-and-wait); derived as 1.5 RTT.
+    double eager_rto_s{0.05};
+
+    /// Derive protocol timeouts from the link profile (RTO = 3 RTT for the
+    /// RTO scheme, 1.2 RTT with NACK; paper §5.1.1).
+    void derive_timeouts();
+  };
+
+  using DoneFn = std::function<void(const Status&)>;
+
+  /// `src` and `dst` NICs must already be routed to each other through
+  /// simulator channels.
+  ReliableChannel(sim::Simulator& simulator, verbs::Nic& src, verbs::Nic& dst,
+                  Options options);
+  ~ReliableChannel();
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Reliable Write of [data, data+length). Buffer must outlive `done`.
+  Status send(const std::uint8_t* data, std::size_t length, DoneFn done);
+
+  /// Post the matching receive. For EC kinds, `length` must be a whole
+  /// number of submessages.
+  Status recv(std::uint8_t* buffer, std::size_t length, DoneFn done);
+
+  const Options& options() const { return options_; }
+  std::uint64_t retransmissions() const;
+  std::uint64_t eager_messages() const { return eager_completed_; }
+
+ private:
+  const verbs::MemoryRegion* recv_mr(std::uint8_t* buffer, std::size_t length);
+
+  // ---- eager small-message path ----
+  Status eager_send(const std::uint8_t* data, std::size_t length,
+                    DoneFn done);
+  Status eager_recv(std::uint8_t* buffer, std::size_t length, DoneFn done);
+  void eager_transmit(std::uint64_t id);
+  void on_src_control(const std::uint8_t* data, std::size_t length);
+  void on_dst_control(const std::uint8_t* data, std::size_t length);
+
+  struct EagerSend {
+    std::vector<std::uint8_t> payload;
+    DoneFn done;
+    sim::EventId timer{0};
+    int attempts{0};
+  };
+  struct EagerRecv {
+    std::uint8_t* buffer{nullptr};
+    std::size_t length{0};
+    DoneFn done;
+  };
+  std::uint64_t eager_send_seq_{0};
+  std::uint64_t eager_recv_seq_{0};
+  std::uint64_t eager_completed_{0};
+  std::map<std::uint64_t, EagerSend> eager_sends_;
+  std::map<std::uint64_t, EagerRecv> eager_recvs_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> eager_stash_;
+  ControlLink::ReceiveFn protocol_src_handler_;
+
+  // ---- kAuto: a second (EC) stack and the model-guided router ----
+  bool auto_use_ec(std::size_t length);
+  std::unique_ptr<ReliableChannel> auto_ec_;  // EC stack on its own QPs
+  std::map<std::size_t, bool> auto_choice_cache_;  // size bucket -> EC?
+
+ public:
+  std::uint64_t auto_ec_messages() const { return auto_ec_count_; }
+  std::uint64_t auto_sr_messages() const { return auto_sr_count_; }
+
+ private:
+  std::uint64_t auto_ec_count_{0};
+  std::uint64_t auto_sr_count_{0};
+
+  sim::Simulator& sim_;
+  Options options_;
+  std::unique_ptr<core::Context> src_ctx_;
+  std::unique_ptr<core::Context> dst_ctx_;
+  core::Qp* src_qp_{nullptr};
+  core::Qp* dst_qp_{nullptr};
+  std::unique_ptr<ControlLink> src_control_;  // sender side (receives ACKs)
+  std::unique_ptr<ControlLink> dst_control_;  // receiver side (sends ACKs)
+  std::unique_ptr<ec::ErasureCodec> codec_;
+  std::unique_ptr<SrSender> sr_sender_;
+  std::unique_ptr<SrReceiver> sr_receiver_;
+  std::unique_ptr<EcSender> ec_sender_;
+  std::unique_ptr<EcReceiver> ec_receiver_;
+  // Registration cache: the collective re-posts the same buffers each step.
+  std::map<std::pair<std::uint8_t*, std::size_t>,
+           const verbs::MemoryRegion*> mr_cache_;
+};
+
+}  // namespace sdr::reliability

@@ -1,0 +1,69 @@
+// RFC 6298-style adaptive retransmission timeout.
+//
+// The paper lists "retransmission timeout (RTO) tuning" among the SR
+// extensions a software-defined reliability layer can adopt (§4.1.1, citing
+// F-RTO). This estimator maintains the classic smoothed RTT / RTT variance
+// pair from per-chunk acknowledgment samples; Karn's algorithm applies
+// (callers must not feed samples from retransmitted chunks).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sdr::reliability {
+
+class RttEstimator {
+ public:
+  struct Params {
+    double alpha{1.0 / 8.0};   // SRTT gain
+    double beta{1.0 / 4.0};    // RTTVAR gain
+    double k{4.0};             // RTO = SRTT + k * RTTVAR
+    double min_rto_s{1e-4};
+    double max_rto_s{10.0};
+    double initial_rto_s{0.2};
+  };
+
+  RttEstimator() : params_(Params{}) {}
+  explicit RttEstimator(Params params) : params_(params) {}
+
+  /// Feed one RTT sample (seconds). Per Karn's algorithm the caller must
+  /// only sample chunks acknowledged on their first transmission.
+  void update(double sample_s) {
+    if (sample_s <= 0.0) return;
+    if (samples_ == 0) {
+      srtt_ = sample_s;
+      rttvar_ = sample_s / 2.0;
+    } else {
+      rttvar_ = (1.0 - params_.beta) * rttvar_ +
+                params_.beta * std::abs(srtt_ - sample_s);
+      srtt_ = (1.0 - params_.alpha) * srtt_ + params_.alpha * sample_s;
+    }
+    ++samples_;
+  }
+
+  /// Exponential backoff on a retransmission timeout (reset by the next
+  /// valid sample implicitly through rto()'s recomputation).
+  void backoff() { backoff_factor_ = std::min(backoff_factor_ * 2.0, 64.0); }
+  void reset_backoff() { backoff_factor_ = 1.0; }
+
+  double rto_s() const {
+    if (samples_ == 0) return params_.initial_rto_s * backoff_factor_;
+    const double rto = srtt_ + params_.k * rttvar_;
+    return std::clamp(rto * backoff_factor_, params_.min_rto_s,
+                      params_.max_rto_s);
+  }
+
+  double srtt_s() const { return srtt_; }
+  double rttvar_s() const { return rttvar_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  Params params_;
+  double srtt_{0.0};
+  double rttvar_{0.0};
+  double backoff_factor_{1.0};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace sdr::reliability

@@ -1,0 +1,333 @@
+#include "reliability/sr_protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace sdr::reliability {
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+SrSender::SrSender(sim::Simulator& simulator, core::Qp& qp,
+                   ControlLink& control, const LinkProfile& profile,
+                   SrProtoConfig config)
+    : sim_(simulator),
+      qp_(qp),
+      control_(control),
+      profile_(profile),
+      config_(config),
+      chunk_bytes_(qp.attr().chunk_size) {
+  RttEstimator::Params est_params;
+  est_params.initial_rto_s = config_.rto_s;  // static RTO seeds the estimator
+  // Principled floor: an acknowledgment can never return faster than the
+  // round trip plus the receiver's ACK cadence; an RTO below that would
+  // guarantee spurious retransmission storms.
+  est_params.min_rto_s = profile.rtt_s + 2.0 * config_.ack_interval_s;
+  estimator_ = RttEstimator(est_params);
+  control_.set_receiver(
+      [this](const std::uint8_t* d, std::size_t n) { on_control(d, n); });
+  // Retransmission timers start when the receiver's CTS arrives (that is
+  // when injection actually begins); arming them at write() time would
+  // spuriously fire while the chunks are still queued behind the CTS.
+  qp_.set_cts_handler([this](std::uint64_t msg_number) {
+    arm_all_timers(msg_number);
+  });
+}
+
+Status SrSender::write(const std::uint8_t* data, std::size_t length,
+                       DoneFn done) {
+  if (data == nullptr || length == 0) {
+    return Status(StatusCode::kInvalidArgument, "empty write");
+  }
+  core::SendHandle* handle = nullptr;
+  if (Status s = qp_.send_stream_start(0, false, &handle); !s) return s;
+
+  const std::uint64_t msg_number = handle->msg_number();
+  MsgState& msg = messages_[msg_number];
+  msg.handle = handle;
+  msg.data = data;
+  msg.length = length;
+  msg.chunks = (length + chunk_bytes_ - 1) / chunk_bytes_;
+  msg.acked.resize(msg.chunks);
+  msg.timers.assign(msg.chunks, 0);
+  msg.sent_at_s.assign(msg.chunks, -1.0);
+  msg.retries.assign(msg.chunks, 0);
+  msg.retransmitted.resize(msg.chunks);
+  msg.done = std::move(done);
+  ++stats_.messages;
+
+  for (std::size_t c = 0; c < msg.chunks; ++c) {
+    send_chunk(msg, c, /*retransmission=*/false);
+  }
+  if (handle->cts_ready()) arm_all_timers(msg_number);
+  return Status::ok();
+}
+
+void SrSender::arm_all_timers(std::uint64_t msg_number) {
+  const auto it = messages_.find(msg_number);
+  if (it == messages_.end()) return;
+  MsgState& msg = it->second;
+  msg.cts_at_s = sim_.now().seconds();
+  for (std::size_t c = 0; c < msg.chunks; ++c) {
+    if (!msg.acked.test(c) && msg.timers[c] == 0) arm_timer(msg_number, c);
+  }
+}
+
+void SrSender::send_chunk(MsgState& msg, std::size_t chunk,
+                          bool retransmission) {
+  const std::size_t offset = chunk * chunk_bytes_;
+  const std::size_t len = std::min(chunk_bytes_, msg.length - offset);
+  const Status s =
+      qp_.send_stream_continue(msg.handle, msg.data + offset, offset, len);
+  if (!s) {
+    SDR_WARN("SR chunk injection failed: %s", std::string(to_string(s.code())).c_str());
+    return;
+  }
+  msg.sent_at_s[chunk] = sim_.now().seconds();
+  if (retransmission) {
+    msg.retransmitted.set(chunk);
+    if (msg.retries[chunk] < 8) ++msg.retries[chunk];
+    ++stats_.retransmissions;
+  }
+  ++stats_.chunks_sent;
+}
+
+void SrSender::arm_timer(std::uint64_t msg_number, std::size_t chunk) {
+  const auto it = messages_.find(msg_number);
+  if (it == messages_.end()) return;
+  // Per-chunk exponential backoff (capped at 16x — the base RTO is already
+  // conservative) plus up to 25% jitter: without jitter, the RTOs of all
+  // chunks lost in one burst expire together and the retransmission storm
+  // tail-drops itself in congested queues.
+  const double backoff =
+      static_cast<double>(1u << std::min<std::uint8_t>(
+          it->second.retries[chunk], 4));
+  const double jitter = 1.0 + 0.25 * rng_.next_double();
+  it->second.timers[chunk] = sim_.schedule(
+      SimTime::from_seconds(current_rto_s() * backoff * jitter),
+      [this, msg_number, chunk] {
+        const auto mit = messages_.find(msg_number);
+        if (mit == messages_.end()) return;
+        MsgState& msg = mit->second;
+        if (msg.acked.test(chunk)) return;
+        send_chunk(msg, chunk, /*retransmission=*/true);
+        arm_timer(msg_number, chunk);
+      });
+}
+
+void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
+  const auto parsed = decode_control(data, length);
+  if (!parsed) return;
+  const ControlMessage& msg = *parsed;
+  const auto it = messages_.find(msg.msg_number);
+  if (it == messages_.end()) return;  // stale ACK for a finished message
+
+  switch (msg.type) {
+    case ControlType::kSrAck:
+      ++stats_.acks_received;
+      apply_ack(it->second, msg);
+      break;
+    case ControlType::kSrNack: {
+      ++stats_.nacks_received;
+      MsgState& state = it->second;
+      for (std::uint32_t chunk : msg.indices) {
+        if (chunk >= state.chunks || state.acked.test(chunk)) continue;
+        if (state.timers[chunk] != 0) sim_.cancel(state.timers[chunk]);
+        send_chunk(state, chunk, /*retransmission=*/true);
+        arm_timer(msg.msg_number, chunk);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // apply_ack may have finished the message.
+  if (const auto again = messages_.find(msg.msg_number);
+      again != messages_.end() &&
+      again->second.acked_count == again->second.chunks) {
+    finish(msg.msg_number);
+  }
+}
+
+void SrSender::apply_ack(MsgState& msg, const ControlMessage& ack) {
+  const std::size_t cumulative =
+      std::min<std::size_t>(ack.cumulative, msg.chunks);
+  for (std::size_t c = 0; c < cumulative; ++c) mark_acked(msg, c);
+  for (std::size_t w = 0; w < ack.selective.size(); ++w) {
+    const std::uint64_t word = ack.selective[w];
+    if (word == 0) continue;
+    for (unsigned b = 0; b < 64; ++b) {
+      if ((word >> b) & 1ULL) {
+        const std::size_t chunk = ack.selective_base + w * 64 + b;
+        if (chunk < msg.chunks) mark_acked(msg, chunk);
+      }
+    }
+  }
+}
+
+void SrSender::mark_acked(MsgState& msg, std::size_t chunk) {
+  if (msg.acked.test(chunk)) return;
+  msg.acked.set(chunk);
+  ++msg.acked_count;
+  if (msg.timers[chunk] != 0) {
+    sim_.cancel(msg.timers[chunk]);
+    msg.timers[chunk] = 0;
+  }
+  if (config_.adaptive_rto && !msg.retransmitted.test(chunk) &&
+      msg.sent_at_s[chunk] >= 0.0) {
+    // Karn: only never-retransmitted chunks yield unambiguous RTT samples.
+    // Chunks queued before the CTS only start travelling when it arrives.
+    const double departed = std::max(msg.sent_at_s[chunk], msg.cts_at_s);
+    estimator_.update(sim_.now().seconds() - departed);
+  }
+}
+
+void SrSender::finish(std::uint64_t msg_number) {
+  const auto it = messages_.find(msg_number);
+  if (it == messages_.end()) return;
+  MsgState msg = std::move(it->second);
+  messages_.erase(it);
+  qp_.send_stream_end(msg.handle);
+  reap(msg.handle);
+  if (msg.done) msg.done(Status::ok());
+}
+
+void SrSender::reap(core::SendHandle* handle) {
+  // Poll the handle until the backend confirms injection completed, then it
+  // is recycled; lazy polling keeps completion latency off the ACK path.
+  if (qp_.send_poll(handle).code() == StatusCode::kNotReady) {
+    sim_.schedule(SimTime::from_micros(10),
+                  [this, handle] { reap(handle); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+SrReceiver::SrReceiver(sim::Simulator& simulator, core::Qp& qp,
+                       ControlLink& control, const LinkProfile& profile,
+                       SrProtoConfig config)
+    : sim_(simulator),
+      qp_(qp),
+      control_(control),
+      profile_(profile),
+      config_(config) {
+  qp_.set_recv_event_handler(
+      [this](const core::RecvEvent& event) { on_chunk_event(event); });
+}
+
+Status SrReceiver::expect(std::uint8_t* buffer, std::size_t length,
+                          const verbs::MemoryRegion* mr, DoneFn done) {
+  core::RecvHandle* handle = nullptr;
+  if (Status s = qp_.recv_post(buffer, length, mr, &handle); !s) return s;
+  const std::uint64_t msg_number = handle->msg_number();
+  MsgState& msg = messages_[msg_number];
+  msg.handle = handle;
+  msg.chunks = handle->chunk_count();
+  msg.done = std::move(done);
+  msg.last_nack_s.assign(msg.chunks, -1.0);
+  ++stats_.messages;
+  ack_tick(msg_number);
+  return Status::ok();
+}
+
+void SrReceiver::on_chunk_event(const core::RecvEvent& event) {
+  const auto it = messages_.find(event.handle->msg_number());
+  if (it == messages_.end()) return;
+  MsgState& msg = it->second;
+  if (msg.complete) return;
+
+  if (event.type == core::RecvEvent::Type::kMessageCompleted) {
+    complete(msg, event.handle->msg_number());
+    return;
+  }
+  if (config_.nack_enabled) maybe_nack(msg, event.chunk_index);
+}
+
+void SrReceiver::send_ack(MsgState& msg) {
+  const AtomicBitmap* bitmap = nullptr;
+  if (!qp_.recv_bitmap_get(msg.handle, &bitmap)) return;
+
+  ControlMessage ack;
+  ack.type = ControlType::kSrAck;
+  ack.msg_number = msg.handle->msg_number();
+  const std::size_t cumulative = bitmap->first_zero(msg.chunks);
+  ack.cumulative = static_cast<std::uint32_t>(cumulative);
+  // Selective window: words starting at the cumulative point.
+  const std::size_t base_word = cumulative / 64;
+  ack.selective_base = static_cast<std::uint32_t>(base_word * 64);
+  for (std::size_t w = 0; w < config_.selective_window_words; ++w) {
+    const std::size_t wi = base_word + w;
+    if (wi >= bitmap_words(msg.chunks)) break;
+    ack.selective.push_back(bitmap->load_word(wi));
+  }
+  const std::vector<std::uint8_t> wire = encode_control(ack);
+  control_.send(wire.data(), wire.size());
+  ++stats_.acks_sent;
+}
+
+void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
+  const AtomicBitmap* bitmap = nullptr;
+  if (!qp_.recv_bitmap_get(msg.handle, &bitmap)) return;
+  const std::size_t cumulative = bitmap->first_zero(msg.chunks);
+  if (completed_chunk < cumulative + config_.nack_gap_threshold) return;
+
+  ControlMessage nack;
+  nack.type = ControlType::kSrNack;
+  nack.msg_number = msg.handle->msg_number();
+  const double now_s = sim_.now().seconds();
+  for (std::size_t c = cumulative;
+       c < completed_chunk && nack.indices.size() < 256; ++c) {
+    if (bitmap->test(c)) continue;
+    if (msg.last_nack_s[c] >= 0.0 &&
+        now_s - msg.last_nack_s[c] < config_.nack_holdoff_s) {
+      continue;
+    }
+    msg.last_nack_s[c] = now_s;
+    nack.indices.push_back(static_cast<std::uint32_t>(c));
+  }
+  if (nack.indices.empty()) return;
+  const std::vector<std::uint8_t> wire = encode_control(nack);
+  control_.send(wire.data(), wire.size());
+  ++stats_.nacks_sent;
+}
+
+void SrReceiver::ack_tick(std::uint64_t msg_number) {
+  const auto it = messages_.find(msg_number);
+  if (it == messages_.end()) return;
+  MsgState& msg = it->second;
+  if (msg.complete) return;
+  send_ack(msg);
+  sim_.schedule(SimTime::from_seconds(config_.ack_interval_s),
+                [this, msg_number] { ack_tick(msg_number); });
+}
+
+void SrReceiver::complete(MsgState& msg, std::uint64_t msg_number) {
+  msg.complete = true;
+  // Final ACK (repeated to survive control-path drops).
+  ControlMessage ack;
+  ack.type = ControlType::kSrAck;
+  ack.msg_number = msg_number;
+  ack.cumulative = static_cast<std::uint32_t>(msg.chunks);
+  const std::vector<std::uint8_t> wire = encode_control(ack);
+  control_.send(wire.data(), wire.size());
+  ++stats_.acks_sent;
+  for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
+    sim_.schedule(SimTime::from_seconds(config_.ack_interval_s *
+                                        static_cast<double>(r)),
+                  [this, wire] {
+                    control_.send(wire.data(), wire.size());
+                    ++stats_.acks_sent;
+                  });
+  }
+  qp_.recv_complete(msg.handle);
+  DoneFn done = std::move(msg.done);
+  messages_.erase(msg_number);
+  if (done) done(Status::ok());
+}
+
+}  // namespace sdr::reliability

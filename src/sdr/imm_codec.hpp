@@ -1,0 +1,105 @@
+// 32-bit transport immediate encoding (paper §3.2.4).
+//
+// Every SDR packet is an RDMA Write-with-immediate whose 32-bit immediate is
+// split into three fields:
+//   * message ID     — which message-table slot the packet belongs to,
+//   * packet index   — the packet's offset within the message (in MTUs),
+//   * user fragment  — a sampled fragment of the application's 32-bit user
+//                      immediate, reassembled at the receiver.
+// The paper's default split is 10 + 18 + 4 (1024 in-flight messages, 1 GiB
+// max message at 4 KiB MTU); alternative splits such as 8 + 22 + 2 are
+// supported and tested.
+#pragma once
+
+#include <cstdint>
+
+namespace sdr::core {
+
+struct ImmLayout {
+  unsigned msg_id_bits{10};
+  unsigned offset_bits{18};
+  unsigned user_bits{4};
+
+  constexpr bool valid() const {
+    return msg_id_bits >= 1 && offset_bits >= 1 &&
+           msg_id_bits + offset_bits + user_bits == 32;
+  }
+  constexpr std::uint32_t max_messages() const {
+    return 1u << msg_id_bits;
+  }
+  constexpr std::uint64_t max_packets() const {
+    return 1ull << offset_bits;
+  }
+  /// Number of user-immediate fragments needed to reassemble 32 bits
+  /// (0 when the layout carries no user bits).
+  constexpr unsigned user_fragments() const {
+    return user_bits == 0 ? 0 : (32 + user_bits - 1) / user_bits;
+  }
+};
+
+inline constexpr ImmLayout kDefaultImmLayout{10, 18, 4};
+inline constexpr ImmLayout kLargeMessageImmLayout{8, 22, 2};
+
+struct ImmFields {
+  std::uint32_t msg_id{0};
+  std::uint32_t packet_index{0};
+  std::uint32_t user_fragment{0};
+};
+
+class ImmCodec {
+ public:
+  constexpr explicit ImmCodec(ImmLayout layout = kDefaultImmLayout)
+      : layout_(layout) {}
+
+  constexpr ImmLayout layout() const { return layout_; }
+
+  constexpr std::uint32_t encode(std::uint32_t msg_id,
+                                 std::uint32_t packet_index,
+                                 std::uint32_t user_fragment) const {
+    const std::uint32_t id_mask = layout_.max_messages() - 1;
+    const std::uint32_t off_mask =
+        static_cast<std::uint32_t>(layout_.max_packets() - 1);
+    const std::uint32_t usr_mask =
+        layout_.user_bits == 0 ? 0 : (1u << layout_.user_bits) - 1;
+    std::uint32_t v = (msg_id & id_mask);
+    v = (v << layout_.offset_bits) | (packet_index & off_mask);
+    v = (v << layout_.user_bits) | (user_fragment & usr_mask);
+    return v;
+  }
+
+  constexpr ImmFields decode(std::uint32_t imm) const {
+    const std::uint32_t usr_mask =
+        layout_.user_bits == 0 ? 0 : (1u << layout_.user_bits) - 1;
+    const std::uint32_t off_mask =
+        static_cast<std::uint32_t>(layout_.max_packets() - 1);
+    ImmFields f;
+    f.user_fragment = imm & usr_mask;
+    f.packet_index = (imm >> layout_.user_bits) & off_mask;
+    f.msg_id = (imm >> (layout_.user_bits + layout_.offset_bits)) &
+               (layout_.max_messages() - 1);
+    return f;
+  }
+
+  /// Fragment of the 32-bit user immediate carried by packet `packet_index`.
+  /// Fragments cycle: packet i carries bits
+  /// [user_bits * (i % fragments), ...). A message therefore needs at least
+  /// `user_fragments()` packets to deliver a complete user immediate.
+  constexpr std::uint32_t sample_user_fragment(std::uint32_t user_imm,
+                                               std::uint32_t packet_index) const {
+    const unsigned frags = layout_.user_fragments();
+    if (frags == 0) return 0;
+    const unsigned idx = packet_index % frags;
+    return (user_imm >> (idx * layout_.user_bits)) &
+           ((1u << layout_.user_bits) - 1);
+  }
+
+  constexpr unsigned fragment_slot(std::uint32_t packet_index) const {
+    const unsigned frags = layout_.user_fragments();
+    return frags == 0 ? 0 : packet_index % frags;
+  }
+
+ private:
+  ImmLayout layout_;
+};
+
+}  // namespace sdr::core

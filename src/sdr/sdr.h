@@ -1,0 +1,110 @@
+// C-style SDR SDK facade — mirrors Table 1 of the paper verbatim.
+//
+// Thin wrappers over the C++ classes in sdr/sdr.hpp; every call returns 0 on
+// success or a negative sdr::StatusCode on failure, matching the paper's
+// `int`-returning convention. Objects are opaque handles.
+//
+//   | Subset          | API call                 |
+//   |-----------------|--------------------------|
+//   | Data path setup | sdr_context_create, sdr_qp_create, sdr_qp_info_get,
+//   |                 | sdr_qp_connect
+//   | Memory          | sdr_mr_reg
+//   | Send            | sdr_send_stream_start, sdr_send_stream_continue,
+//   |                 | sdr_send_stream_end, sdr_send_post, sdr_send_poll
+//   | Receive         | sdr_recv_post, sdr_recv_bitmap_get, sdr_recv_imm_get,
+//   |                 | sdr_recv_complete
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sdr/config.hpp"
+
+namespace sdr::verbs {
+class Nic;
+class MemoryRegion;
+}  // namespace sdr::verbs
+
+namespace sdr::core {
+class Context;
+class Qp;
+class SendHandle;
+class RecvHandle;
+struct QpInfo;
+}  // namespace sdr::core
+
+extern "C++" {
+
+typedef sdr::core::Context sdr_ctx;
+typedef sdr::core::Qp sdr_qp;
+typedef sdr::core::SendHandle sdr_snd_handle;
+typedef sdr::core::RecvHandle sdr_rcv_handle;
+typedef const sdr::verbs::MemoryRegion sdr_mr;
+
+struct sdr_start_wr {
+  std::uint32_t user_imm;
+  int has_user_imm;
+};
+
+struct sdr_continue_wr {
+  const void* data;
+  std::size_t remote_offset;  // byte offset into the remote receive buffer
+  std::size_t length;
+};
+
+struct sdr_snd_wr {
+  const void* data;
+  std::size_t length;
+  std::uint32_t user_imm;
+  int has_user_imm;
+};
+
+struct sdr_rcv_wr {
+  void* addr;
+  std::size_t length;
+  sdr_mr* mr;
+};
+
+// --- Data path setup ---
+/// Allocate HW resources (CQs, DPA threads) shared by QPs. `dev_name`
+/// selects the software NIC registered under that name (see
+/// sdr_register_device in the simulator harness).
+sdr_ctx* sdr_context_create(const char* dev_name,
+                            const sdr::core::DevAttr* dev_attr);
+/// Create a queue pair within a context.
+sdr_qp* sdr_qp_create(sdr_ctx* ctx, const sdr::core::QpAttr* qp_attr);
+/// Retrieve QP info for out-of-band exchange.
+int sdr_qp_info_get(sdr_qp* qp, sdr::core::QpInfo* info);
+/// Establish a connection between queue pairs using QP info.
+int sdr_qp_connect(sdr_qp* qp, const sdr::core::QpInfo* remote_qp_info);
+
+// --- Memory ---
+/// Register memory for send/receive via QPs in the context.
+sdr_mr* sdr_mr_reg(sdr_ctx* ctx, void* addr, std::size_t length);
+
+// --- Send ---
+int sdr_send_stream_start(sdr_qp* qp, const sdr_start_wr* wr,
+                          sdr_snd_handle** hdl);
+int sdr_send_stream_continue(sdr_snd_handle* hdl, sdr_qp* qp,
+                             const sdr_continue_wr* wr);
+int sdr_send_stream_end(sdr_snd_handle* hdl, sdr_qp* qp);
+int sdr_send_post(sdr_qp* qp, const sdr_snd_wr* wr, sdr_snd_handle** hdl);
+int sdr_send_poll(sdr_snd_handle* hdl, sdr_qp* qp);
+
+// --- Receive ---
+int sdr_recv_post(sdr_qp* qp, const sdr_rcv_wr* wr, sdr_rcv_handle** hdl);
+/// Get a pointer to the chunk bitmap words associated with a receive
+/// buffer. `len` receives the bitmap length in BITS (chunks).
+int sdr_recv_bitmap_get(sdr_rcv_handle* hdl, sdr_qp* qp,
+                        const std::uint64_t** bitmap, std::size_t* len);
+/// Retrieve the reassembled user immediate if it is ready.
+int sdr_recv_imm_get(sdr_rcv_handle* hdl, sdr_qp* qp, std::uint32_t* imm);
+/// Mark a receive message as complete.
+int sdr_recv_complete(sdr_rcv_handle* hdl, sdr_qp* qp);
+
+// --- Simulator-harness device registry (not part of Table 1) ---
+/// Bind `dev_name` to a software NIC so sdr_context_create can resolve it.
+void sdr_register_device(const char* dev_name, sdr::verbs::Nic* nic);
+void sdr_unregister_devices();
+
+}  // extern "C++"

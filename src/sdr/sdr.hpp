@@ -1,0 +1,272 @@
+// SDR middleware SDK — the paper's core contribution (Table 1).
+//
+// The SDK extends standard point-to-point RDMA semantics with unreliable
+// arbitrary-length messaging and a *partial message completion* bitmap:
+// the receiver posts a buffer, the sender streams MTU-sized packets into it
+// as single-packet unreliable Writes-with-immediate, and the receive backend
+// coalesces per-packet completions into a chunk bitmap the reliability layer
+// polls. Matching is order-based; generations + the NULL memory key protect
+// against late packets (§3.3); the backend logic is the same code the DPA
+// engine runs multi-threaded (src/dpa).
+//
+// C++ class API below; a C-style facade mirroring Table 1 verbatim is in
+// sdr/sdr.h.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sdr/config.hpp"
+#include "sdr/imm_codec.hpp"
+#include "sdr/message_table.hpp"
+#include "verbs/cq.hpp"
+#include "verbs/nic.hpp"
+
+namespace sdr::core {
+
+class Context;
+class Qp;
+
+/// Out-of-band connection blob (qp_info_get / qp_connect). In a real
+/// deployment this crosses a TCP socket; in the simulator it is passed by
+/// value.
+struct QpInfo {
+  verbs::NicId nic{0};
+  verbs::QpNumber control_qp{0};
+  std::vector<verbs::QpNumber> data_qps;  // [generation * channels + channel]
+  verbs::MemoryKey root_key{0};
+  QpAttr attr;
+};
+
+/// Streaming / one-shot send message context (snd_handle).
+class SendHandle {
+ public:
+  std::uint64_t msg_number() const { return msg_number_; }
+  std::size_t slot() const { return slot_; }
+  std::uint32_t generation() const { return generation_; }
+  bool ended() const { return ended_; }
+  /// True once the receiver's clear-to-send arrived (injection can start).
+  bool cts_ready() const { return cts_ready_; }
+  std::uint64_t packets_injected() const { return packets_injected_; }
+  std::uint64_t packets_pending() const { return packets_pending_; }
+
+ private:
+  friend class Qp;
+  std::uint64_t msg_number_{0};
+  std::size_t slot_{0};
+  std::uint32_t generation_{0};
+  std::uint32_t user_imm_{0};
+  bool has_user_imm_{false};
+  bool ended_{false};
+  bool cts_ready_{false};
+  std::uint64_t packets_injected_{0};
+  std::uint64_t packets_pending_{0};  // handed to NIC, not yet serialized
+  std::size_t remote_msg_bytes_{0};   // from CTS: posted buffer length
+  struct PendingOp {
+    const std::uint8_t* data;
+    std::size_t offset;
+    std::size_t length;
+  };
+  std::deque<PendingOp> queued_;  // ops issued before CTS arrived
+  bool in_use_{false};
+};
+
+/// Receive message context (rcv_handle).
+class RecvHandle {
+ public:
+  std::uint64_t msg_number() const { return msg_number_; }
+  std::size_t slot() const { return slot_; }
+  std::size_t msg_bytes() const { return msg_bytes_; }
+  std::size_t chunk_count() const { return chunk_count_; }
+
+ private:
+  friend class Qp;
+  std::uint64_t msg_number_{0};
+  std::size_t slot_{0};
+  std::uint32_t generation_{0};
+  std::size_t msg_bytes_{0};
+  std::size_t chunk_count_{0};
+  const verbs::MemoryRegion* mr_{nullptr};
+  bool in_use_{false};
+};
+
+/// Receive-side events fired from inside the backend (the event-driven
+/// equivalent of busy-polling the bitmap; see cq.hpp::set_notify).
+struct RecvEvent {
+  enum class Type { kChunkCompleted, kMessageCompleted } type;
+  RecvHandle* handle;
+  std::uint32_t chunk_index;  // valid for kChunkCompleted
+};
+
+struct SdrQpStats {
+  std::uint64_t cts_sent{0};
+  std::uint64_t cts_received{0};
+  std::uint64_t data_packets_sent{0};
+  std::uint64_t completions_processed{0};
+  std::uint64_t completions_discarded{0};  // stale generation / inactive slot
+  std::uint64_t sends_queued_waiting_cts{0};
+  // UD-transport staging costs (paper §2.3): packets copied from runtime
+  // staging buffers into the user buffer, and bytes so copied.
+  std::uint64_t staged_packets{0};
+  std::uint64_t staged_bytes{0};
+};
+
+/// The SDR queue pair: order-based matched, bitmap-completing unreliable
+/// messaging endpoint.
+class Qp {
+ public:
+  Qp(Context& ctx, const QpAttr& attr);
+  ~Qp();
+  Qp(const Qp&) = delete;
+  Qp& operator=(const Qp&) = delete;
+
+  const QpAttr& attr() const { return attr_; }
+
+  /// Table 1: qp_info_get.
+  QpInfo info() const;
+
+  /// Table 1: qp_connect.
+  Status connect(const QpInfo& remote);
+  bool connected() const { return connected_; }
+
+  // ---- send path ----
+  Status send_stream_start(std::uint32_t user_imm, bool has_user_imm,
+                           SendHandle** handle);
+  Status send_stream_continue(SendHandle* handle, const std::uint8_t* data,
+                              std::size_t remote_offset, std::size_t length);
+  Status send_stream_end(SendHandle* handle);
+  /// One-shot: start + continue(offset 0) + end in a single call.
+  Status send_post(const std::uint8_t* data, std::size_t length,
+                   std::uint32_t user_imm, bool has_user_imm,
+                   SendHandle** handle);
+  /// kOk once all injected packets have left the NIC and the stream has
+  /// ended; kNotReady otherwise. A completed handle is recycled.
+  Status send_poll(SendHandle* handle);
+
+  // ---- receive path ----
+  Status recv_post(std::uint8_t* addr, std::size_t length,
+                   const verbs::MemoryRegion* mr, RecvHandle** handle);
+  /// Table 1: recv_bitmap_get — the frontend chunk bitmap for this receive.
+  Status recv_bitmap_get(RecvHandle* handle, const AtomicBitmap** bitmap) const;
+  /// Table 1: recv_imm_get — reassembled user immediate, kNotReady until
+  /// every fragment slot has been observed.
+  Status recv_imm_get(RecvHandle* handle, std::uint32_t* imm) const;
+  /// Table 1: recv_complete — release the receive; arms late-packet
+  /// protection (NULL-key rebind + generation bump on slot reuse).
+  Status recv_complete(RecvHandle* handle);
+
+  /// Convenience for reliability layers: has every chunk arrived?
+  bool recv_done(const RecvHandle* handle) const;
+  std::uint64_t recv_packets(const RecvHandle* handle) const;
+
+  /// Event-driven notification for simulator-resident reliability layers.
+  void set_recv_event_handler(std::function<void(const RecvEvent&)> fn) {
+    recv_event_handler_ = std::move(fn);
+  }
+  /// Fired when a CTS arrives for a message the app may not have started.
+  void set_cts_handler(std::function<void(std::uint64_t msg_number)> fn) {
+    cts_handler_ = std::move(fn);
+  }
+
+  const SdrQpStats& stats() const { return stats_; }
+  MessageTable& message_table() { return table_; }
+  Context& context() { return ctx_; }
+
+ private:
+  struct CtsMessage {
+    std::uint64_t msg_number;
+    std::uint32_t slot;
+    std::uint32_t generation;
+    std::uint64_t msg_bytes;
+  };
+
+  verbs::Qp* data_qp(std::uint32_t generation, std::size_t channel) {
+    return data_qps_[generation * attr_.channels + channel];
+  }
+  std::uint32_t generation_of(std::uint64_t msg_number) const {
+    return static_cast<std::uint32_t>((msg_number / attr_.max_inflight) %
+                                      attr_.generations);
+  }
+  std::size_t slot_of(std::uint64_t msg_number) const {
+    return static_cast<std::size_t>(msg_number % attr_.max_inflight);
+  }
+
+  void send_cts(const CtsMessage& cts);
+  void on_control_cqe();
+  void on_data_cqe(std::size_t qp_index);
+  void on_send_cqe();
+  void inject(SendHandle* handle, const std::uint8_t* data,
+              std::size_t remote_offset, std::size_t length);
+  void flush_queued(SendHandle* handle);
+
+  Context& ctx_;
+  QpAttr attr_;
+  ImmCodec codec_;
+  MessageTable table_;
+
+  bool connected_{false};
+  verbs::NicId remote_nic_{0};
+  verbs::QpNumber remote_control_qp_{0};
+  verbs::MemoryKey remote_root_key_{0};
+  std::vector<verbs::QpNumber> remote_data_qps_;  // UD datagram targets
+
+  // Internal verbs resources.
+  verbs::Qp* control_qp_{nullptr};
+  std::unique_ptr<verbs::CompletionQueue> control_cq_;
+  std::unique_ptr<verbs::CompletionQueue> send_cq_;
+  std::vector<verbs::Qp*> data_qps_;  // [gen * channels + chan]
+  std::vector<std::unique_ptr<verbs::CompletionQueue>> data_cqs_;
+  verbs::IndirectMkeyTable* root_table_{nullptr};
+  const verbs::MemoryRegion* null_mr_{nullptr};
+
+  // Order-based matching state.
+  std::uint64_t send_counter_{0};
+  std::uint64_t recv_counter_{0};
+  std::unordered_map<std::uint64_t, CtsMessage> cts_pending_;
+
+  // Handles: one per message-table slot (bounded in-flight).
+  std::vector<std::unique_ptr<SendHandle>> send_handles_;
+  std::vector<std::unique_ptr<RecvHandle>> recv_handles_;
+  // Map in-flight send msg_number -> handle (for CTS arrival).
+  std::unordered_map<std::uint64_t, SendHandle*> active_sends_;
+
+  // Control-plane receive buffers for CTS datagrams.
+  std::vector<std::vector<std::uint8_t>> cts_buffers_;
+
+  // UD transport: per-data-QP staging datagram buffers (indexed
+  // [qp_index][buffer]); wr_id of a staging recv is its buffer index.
+  std::vector<std::vector<std::vector<std::uint8_t>>> ud_staging_;
+
+  std::function<void(const RecvEvent&)> recv_event_handler_;
+  std::function<void(std::uint64_t)> cts_handler_;
+  SdrQpStats stats_;
+};
+
+/// SDR device context: wraps a software NIC, owns QPs and registered memory
+/// (Table 1: context_create / mr_reg).
+/// Lifetime: contexts (and their QPs) unregister verbs resources from the
+/// NIC on destruction — the NIC must outlive every Context created on it.
+class Context {
+ public:
+  Context(verbs::Nic& nic, DevAttr dev_attr);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  verbs::Nic& nic() { return nic_; }
+  const DevAttr& dev_attr() const { return dev_attr_; }
+
+  Qp* create_qp(const QpAttr& attr);
+  const verbs::MemoryRegion* mr_reg(void* addr, std::size_t length);
+
+ private:
+  verbs::Nic& nic_;
+  DevAttr dev_attr_;
+  std::vector<std::unique_ptr<Qp>> qps_;
+};
+
+}  // namespace sdr::core

@@ -1,0 +1,149 @@
+#include "sdr/sdr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bitmap.hpp"
+#include "sdr/sdr.hpp"
+#include "verbs/nic.hpp"
+
+namespace {
+
+using sdr::Status;
+using sdr::StatusCode;
+
+std::map<std::string, sdr::verbs::Nic*>& device_registry() {
+  static std::map<std::string, sdr::verbs::Nic*> registry;
+  return registry;
+}
+
+/// Contexts created through the C facade are owned here (the facade has no
+/// destroy call in Table 1; teardown happens at process exit or via
+/// sdr_unregister_devices in tests).
+std::vector<std::unique_ptr<sdr::core::Context>>& context_pool() {
+  static std::vector<std::unique_ptr<sdr::core::Context>> pool;
+  return pool;
+}
+
+int to_int(const Status& s) { return s.to_int(); }
+
+}  // namespace
+
+void sdr_register_device(const char* dev_name, sdr::verbs::Nic* nic) {
+  device_registry()[dev_name] = nic;
+}
+
+void sdr_unregister_devices() {
+  context_pool().clear();
+  device_registry().clear();
+}
+
+sdr_ctx* sdr_context_create(const char* dev_name,
+                            const sdr::core::DevAttr* dev_attr) {
+  const auto it = device_registry().find(dev_name ? dev_name : "");
+  if (it == device_registry().end()) return nullptr;
+  sdr::core::DevAttr attr = dev_attr ? *dev_attr : sdr::core::DevAttr{};
+  context_pool().push_back(
+      std::make_unique<sdr::core::Context>(*it->second, attr));
+  return context_pool().back().get();
+}
+
+sdr_qp* sdr_qp_create(sdr_ctx* ctx, const sdr::core::QpAttr* qp_attr) {
+  if (ctx == nullptr || qp_attr == nullptr) return nullptr;
+  return ctx->create_qp(*qp_attr);
+}
+
+int sdr_qp_info_get(sdr_qp* qp, sdr::core::QpInfo* info) {
+  if (qp == nullptr || info == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  *info = qp->info();
+  return 0;
+}
+
+int sdr_qp_connect(sdr_qp* qp, const sdr::core::QpInfo* remote_qp_info) {
+  if (qp == nullptr || remote_qp_info == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return to_int(qp->connect(*remote_qp_info));
+}
+
+sdr_mr* sdr_mr_reg(sdr_ctx* ctx, void* addr, std::size_t length) {
+  if (ctx == nullptr) return nullptr;
+  return ctx->mr_reg(addr, length);
+}
+
+int sdr_send_stream_start(sdr_qp* qp, const sdr_start_wr* wr,
+                          sdr_snd_handle** hdl) {
+  if (qp == nullptr || wr == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return to_int(
+      qp->send_stream_start(wr->user_imm, wr->has_user_imm != 0, hdl));
+}
+
+int sdr_send_stream_continue(sdr_snd_handle* hdl, sdr_qp* qp,
+                             const sdr_continue_wr* wr) {
+  if (qp == nullptr || wr == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return to_int(qp->send_stream_continue(
+      hdl, static_cast<const std::uint8_t*>(wr->data), wr->remote_offset,
+      wr->length));
+}
+
+int sdr_send_stream_end(sdr_snd_handle* hdl, sdr_qp* qp) {
+  if (qp == nullptr) return static_cast<int>(StatusCode::kInvalidArgument);
+  return to_int(qp->send_stream_end(hdl));
+}
+
+int sdr_send_post(sdr_qp* qp, const sdr_snd_wr* wr, sdr_snd_handle** hdl) {
+  if (qp == nullptr || wr == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return to_int(qp->send_post(static_cast<const std::uint8_t*>(wr->data),
+                              wr->length, wr->user_imm,
+                              wr->has_user_imm != 0, hdl));
+}
+
+int sdr_send_poll(sdr_snd_handle* hdl, sdr_qp* qp) {
+  if (qp == nullptr) return static_cast<int>(StatusCode::kInvalidArgument);
+  return to_int(qp->send_poll(hdl));
+}
+
+int sdr_recv_post(sdr_qp* qp, const sdr_rcv_wr* wr, sdr_rcv_handle** hdl) {
+  if (qp == nullptr || wr == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return to_int(qp->recv_post(static_cast<std::uint8_t*>(wr->addr),
+                              wr->length, wr->mr, hdl));
+}
+
+int sdr_recv_bitmap_get(sdr_rcv_handle* hdl, sdr_qp* qp,
+                        const std::uint64_t** bitmap, std::size_t* len) {
+  if (qp == nullptr || bitmap == nullptr || len == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  const sdr::AtomicBitmap* bits = nullptr;
+  const Status s = qp->recv_bitmap_get(hdl, &bits);
+  if (!s) return to_int(s);
+  // std::atomic<uint64_t> is layout-compatible with uint64_t on every
+  // supported platform (static_assert in bitmap tests); the reliability
+  // layer reads the words with plain loads, exactly like host software
+  // polling DPA-updated memory.
+  *bitmap = reinterpret_cast<const std::uint64_t*>(bits->word_data());
+  // Report the posted message's chunk count, not the slot capacity.
+  *len = hdl->chunk_count();
+  return 0;
+}
+
+int sdr_recv_imm_get(sdr_rcv_handle* hdl, sdr_qp* qp, std::uint32_t* imm) {
+  if (qp == nullptr) return static_cast<int>(StatusCode::kInvalidArgument);
+  return to_int(qp->recv_imm_get(hdl, imm));
+}
+
+int sdr_recv_complete(sdr_rcv_handle* hdl, sdr_qp* qp) {
+  if (qp == nullptr) return static_cast<int>(StatusCode::kInvalidArgument);
+  return to_int(qp->recv_complete(hdl));
+}

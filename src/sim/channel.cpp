@@ -1,0 +1,101 @@
+#include "sim/channel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sdr::sim {
+
+Channel::Channel(Simulator& simulator, Config config,
+                 std::unique_ptr<DropModel> drop_model)
+    : sim_(simulator),
+      config_(config),
+      drop_model_(std::move(drop_model)),
+      rng_(config.seed),
+      propagation_(SimTime::from_seconds(
+          propagation_delay_s(config.distance_km) + config.extra_delay_s)) {
+  assert(drop_model_ && "channel requires a drop model");
+  drop_model_->reset(rng_);
+}
+
+std::size_t Channel::queue_backlog_bytes() const {
+  const SimTime now = sim_.now();
+  if (next_free_ <= now) return 0;
+  const double backlog_s = (next_free_ - now).seconds();
+  return static_cast<std::size_t>(backlog_s * config_.bandwidth_bps / 8.0);
+}
+
+void Channel::send(Packet packet) {
+  packet.id = next_packet_id_++;
+  ++stats_.sent_packets;
+  stats_.sent_bytes += packet.bytes;
+
+  // Egress buffer: tail-drop when the serializer backlog would overflow
+  // the configured queue capacity (congestion loss).
+  if (config_.queue_capacity_bytes > 0 &&
+      queue_backlog_bytes() + packet.bytes > config_.queue_capacity_bytes) {
+    ++stats_.dropped_packets;
+    ++stats_.queue_drops;
+    return;
+  }
+
+  // Serialization: the link transmits packets back-to-back in FIFO order.
+  const SimTime start = std::max(sim_.now(), next_free_);
+  const SimTime serialization = SimTime::from_seconds(
+      injection_time_s(packet.bytes, config_.bandwidth_bps));
+  next_free_ = start + serialization;
+
+  if (drop_model_->should_drop(rng_, packet.bytes)) {
+    ++stats_.dropped_packets;
+    return;  // the bits still occupied the wire; they just never arrive
+  }
+
+  SimTime arrival = next_free_ + propagation_;
+  if (config_.reorder_probability > 0.0 &&
+      rng_.bernoulli(config_.reorder_probability)) {
+    ++stats_.reordered_packets;
+    arrival += SimTime::from_seconds(config_.reorder_extra_delay_s);
+  }
+
+  // Duplication (e.g. a WAN path failover replaying a packet): the copy
+  // trails the original by a propagation-scale delay.
+  const bool duplicate =
+      config_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(config_.duplicate_probability);
+
+  // Capture by shared_ptr to keep Packet move-only friendly in std::function.
+  auto carried = std::make_shared<Packet>(std::move(packet));
+  if (duplicate) {
+    ++stats_.duplicated_packets;
+    auto copy = std::make_shared<Packet>(*carried);
+    sim_.schedule_at(arrival + propagation_, [this, copy]() mutable {
+      ++stats_.delivered_packets;
+      if (deliver_) deliver_(std::move(*copy));
+    });
+  }
+  sim_.schedule_at(arrival, [this, carried]() mutable {
+    ++stats_.delivered_packets;
+    if (deliver_) deliver_(std::move(*carried));
+  });
+}
+
+DuplexLink::DuplexLink(Simulator& simulator, Channel::Config config,
+                       std::unique_ptr<DropModel> forward_drop,
+                       std::unique_ptr<DropModel> backward_drop) {
+  Channel::Config fwd = config;
+  Channel::Config bwd = config;
+  bwd.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  forward_ = std::make_unique<Channel>(simulator, fwd, std::move(forward_drop));
+  backward_ =
+      std::make_unique<Channel>(simulator, bwd, std::move(backward_drop));
+}
+
+std::unique_ptr<DuplexLink> make_iid_link(Simulator& simulator,
+                                          Channel::Config config,
+                                          double p_drop_forward,
+                                          double p_drop_backward) {
+  return std::make_unique<DuplexLink>(
+      simulator, config, std::make_unique<IidDrop>(p_drop_forward),
+      std::make_unique<IidDrop>(p_drop_backward));
+}
+
+}  // namespace sdr::sim

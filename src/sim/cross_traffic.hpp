@@ -1,0 +1,88 @@
+// Background cross-traffic generator.
+//
+// Shares a channel with the foreground flow to create genuine congestion:
+// bursts of background packets fill the egress buffer, and with a bounded
+// queue (Channel::Config::queue_capacity_bytes) foreground packets get
+// tail-dropped — preferentially the larger ones, since they overflow a
+// nearly-full buffer first. This is the mechanism the paper's Fig 2
+// measurement attributes to ISP switch congestion ("drop rates increasing
+// for larger packets ... suggest significant switch buffer congestion on
+// the ISP side").
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdr::sim {
+
+class CrossTraffic {
+ public:
+  struct Params {
+    /// Offered load during a burst, as a fraction of the channel bandwidth.
+    double burst_load{0.9};
+    std::size_t packet_bytes{8192};
+    /// Mean burst / idle durations (exponentially distributed).
+    double mean_burst_s{500e-6};
+    double mean_idle_s{500e-6};
+    std::uint64_t seed{17};
+  };
+
+  CrossTraffic(Simulator& simulator, Channel& channel, Params params)
+      : sim_(simulator), channel_(channel), params_(params),
+        rng_(params.seed) {}
+
+  /// Begin generating. Runs until stop() or the simulator drains other
+  /// events past `until` (the generator self-limits to that horizon so
+  /// sim.run() terminates).
+  void start(SimTime until) {
+    horizon_ = until;
+    running_ = true;
+    schedule_burst();
+  }
+
+  void stop() { running_ = false; }
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void schedule_burst() {
+    if (!running_ || sim_.now() >= horizon_) return;
+    const double burst_s = rng_.exponential(1.0 / params_.mean_burst_s);
+    const SimTime burst_end =
+        std::min(horizon_, sim_.now() + SimTime::from_seconds(burst_s));
+    send_tick(burst_end);
+  }
+
+  void send_tick(SimTime burst_end) {
+    if (!running_ || sim_.now() >= horizon_) return;
+    if (sim_.now() >= burst_end) {
+      // Idle gap, then the next burst.
+      const double idle_s = rng_.exponential(1.0 / params_.mean_idle_s);
+      sim_.schedule(SimTime::from_seconds(idle_s),
+                    [this] { schedule_burst(); });
+      return;
+    }
+    Packet p;
+    p.bytes = params_.packet_bytes;
+    channel_.send(std::move(p));
+    ++sent_;
+    const double gap_s =
+        injection_time_s(params_.packet_bytes,
+                         channel_.bandwidth_bps() * params_.burst_load);
+    sim_.schedule(SimTime::from_seconds(gap_s),
+                  [this, burst_end] { send_tick(burst_end); });
+  }
+
+  Simulator& sim_;
+  Channel& channel_;
+  Params params_;
+  Rng rng_;
+  SimTime horizon_{SimTime::zero()};
+  bool running_{false};
+  std::uint64_t sent_{0};
+};
+
+}  // namespace sdr::sim

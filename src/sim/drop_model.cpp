@@ -1,0 +1,3 @@
+#include "sim/drop_model.hpp"
+
+// Drop models are header-only; this TU anchors the sim library target.

@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace sdr::sim {
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  if (cancelled_.size() <= id) cancelled_.resize(id + 64, false);
+  queue_.push(Event{when, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (id < cancelled_.size() && cancelled_[id]) return false;
+  if (cancelled_.size() <= id) cancelled_.resize(id + 64, false);
+  cancelled_[id] = true;
+  // live_events_ intentionally not decremented here: the event object is
+  // still queued. pop_next() adjusts when it sweeps the tombstone.
+  return true;
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we need to move the closure out, so we
+    // copy the small fields and const_cast the function (safe: the element
+    // is popped immediately after).
+    const Event& top = queue_.top();
+    const bool dead = top.id < cancelled_.size() && cancelled_[top.id];
+    out.when = top.when;
+    out.id = top.id;
+    if (!dead) out.fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    --live_events_;
+    if (!dead) return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t executed = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    Event ev;
+    // pop_next may drain cancelled events past the deadline check; re-check.
+    if (!pop_next(ev)) break;
+    if (ev.when > deadline) {
+      // Rare: the first live event is beyond the deadline. Re-queue it.
+      queue_.push(Event{ev.when, ev.id, std::move(ev.fn)});
+      ++live_events_;
+      break;
+    }
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+}  // namespace sdr::sim

@@ -1,0 +1,3 @@
+#include "verbs/cq.hpp"
+
+// CompletionQueue is header-only; this TU anchors the verbs library target.

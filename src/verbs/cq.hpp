@@ -1,0 +1,68 @@
+// Completion queue: a bounded ring of CQEs.
+//
+// SDR's receive backend consumes one CQE per arriving packet (paper §3.2.4);
+// DPA worker threads poll dedicated CQs per channel (§3.4.1). The sim-side
+// CQ here is single-threaded; the threaded data path uses dpa::CompletionRing.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "verbs/types.hpp"
+
+namespace sdr::verbs {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  /// Completion-channel analog: `fn` runs after each push. The SDR runtime
+  /// uses it to drain CQEs event-driven inside the simulator instead of
+  /// busy polling (which has no meaning in virtual time).
+  void set_notify(std::function<void()> fn) { notify_ = std::move(fn); }
+
+  /// Push a completion; drops (and counts) on overrun like real hardware
+  /// raising a CQ error.
+  void push(const Cqe& cqe) {
+    if (entries_.size() >= capacity_) {
+      ++overruns_;
+      return;
+    }
+    entries_.push_back(cqe);
+    if (notify_) notify_();
+  }
+
+  /// Poll up to `max` completions (ibv_poll_cq semantics).
+  std::size_t poll(Cqe* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && !entries_.empty()) {
+      out[n++] = entries_.front();
+      entries_.pop_front();
+    }
+    return n;
+  }
+
+  std::optional<Cqe> poll_one() {
+    if (entries_.empty()) return std::nullopt;
+    Cqe cqe = entries_.front();
+    entries_.pop_front();
+    return cqe;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t overruns() const { return overruns_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Cqe> entries_;
+  std::uint64_t overruns_{0};
+  std::function<void()> notify_;
+};
+
+}  // namespace sdr::verbs

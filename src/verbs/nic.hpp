@@ -1,0 +1,78 @@
+// The software NIC: owns QPs, a protection domain, and routes packets
+// between the simulator channels and the QPs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/mr.hpp"
+#include "verbs/qp.hpp"
+#include "verbs/types.hpp"
+
+namespace sdr::verbs {
+
+class Nic {
+ public:
+  Nic(sim::Simulator& simulator, NicId id);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  NicId id() const { return id_; }
+  sim::Simulator& simulator() { return sim_; }
+  ProtectionDomain& pd() { return pd_; }
+
+  Qp* create_qp(const QpConfig& config);
+  Qp* find_qp(QpNumber num);
+  void destroy_qp(QpNumber num);
+
+  /// Route packets destined to `remote` through `tx`. The channel's
+  /// receiver callback must be wired to the remote NIC's deliver().
+  void add_route(NicId remote, sim::Channel* tx);
+
+  /// ECMP-style multi-path route (paper §3.4.1): packets are spread over
+  /// `paths` by a flow hash of (src QP, dst QP), so each QP pair stays on
+  /// one path (in-order per flow) while different channel QPs fan out
+  /// across paths.
+  void add_multipath_route(NicId remote, std::vector<sim::Channel*> paths);
+
+  /// The path a given flow would take (single-path routes return it).
+  sim::Channel* route_to(NicId remote, QpNumber src_qp = 0,
+                         QpNumber dst_qp = 0) const;
+
+  /// Hand a wire packet to the fabric (serialization/drop handled by the
+  /// channel). Packets to unknown destinations are counted and dropped.
+  void send_packet(WirePacket&& pkt);
+
+  /// Channel delivery entry point.
+  void deliver(sim::Packet&& packet);
+
+  std::uint64_t unroutable_packets() const { return unroutable_; }
+  std::uint64_t unknown_qp_packets() const { return unknown_qp_; }
+
+ private:
+  sim::Simulator& sim_;
+  NicId id_;
+  ProtectionDomain pd_;
+  QpNumber next_qp_num_{0x100};
+  std::unordered_map<QpNumber, std::unique_ptr<Qp>> qps_;
+  std::unordered_map<NicId, std::vector<sim::Channel*>> routes_;
+  std::uint64_t unroutable_{0};
+  std::uint64_t unknown_qp_{0};
+};
+
+/// Convenience: build two NICs connected by a duplex link with i.i.d. loss.
+struct NicPair {
+  std::unique_ptr<Nic> a;
+  std::unique_ptr<Nic> b;
+  std::unique_ptr<sim::DuplexLink> link;
+};
+
+NicPair make_connected_pair(sim::Simulator& simulator,
+                            sim::Channel::Config config, double p_drop_fwd,
+                            double p_drop_bwd = 0.0);
+
+}  // namespace sdr::verbs

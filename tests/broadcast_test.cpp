@@ -1,0 +1,150 @@
+// Executable binomial-tree broadcast over the full stack: correctness for
+// various node counts, schemes and loss levels; log2 round structure.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "collectives/broadcast.hpp"
+#include "common/rng.hpp"
+
+namespace sdr::collectives {
+namespace {
+
+BroadcastConfig make_config(reliability::ReliableChannel::Kind kind,
+                            std::size_t nodes, std::size_t bytes,
+                            double p_drop) {
+  BroadcastConfig cfg;
+  cfg.nodes = nodes;
+  cfg.bytes = bytes;
+  cfg.seed = 99;
+
+  cfg.link.config.bandwidth_bps = 100e9;
+  cfg.link.config.distance_km = 500.0;
+  cfg.link.p_drop_forward = p_drop;
+  cfg.link.p_drop_backward = 0.0;
+
+  cfg.channel.kind = kind;
+  cfg.channel.profile.bandwidth_bps = cfg.link.config.bandwidth_bps;
+  cfg.channel.profile.rtt_s = rtt_s(cfg.link.config.distance_km);
+  cfg.channel.profile.p_drop_packet = p_drop;
+  cfg.channel.profile.mtu = 1024;
+  cfg.channel.profile.chunk_bytes = 1024;
+  cfg.channel.attr.mtu = 1024;
+  cfg.channel.attr.chunk_size = 1024;
+  cfg.channel.attr.max_msg_size = 256 * 1024;
+  cfg.channel.attr.max_inflight = 64;
+  cfg.channel.ec.k = 8;
+  cfg.channel.ec.m = 4;
+  cfg.channel.derive_timeouts();
+  return cfg;
+}
+
+std::vector<std::vector<std::uint8_t>> make_buffers(std::size_t nodes,
+                                                    std::size_t bytes) {
+  Rng rng(5);
+  std::vector<std::vector<std::uint8_t>> buffers(
+      nodes, std::vector<std::uint8_t>(bytes, 0));
+  for (auto& b : buffers[0]) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return buffers;
+}
+
+struct BcastCase {
+  reliability::ReliableChannel::Kind kind;
+  std::size_t nodes;
+  double p_drop;
+};
+
+class BroadcastParamTest : public ::testing::TestWithParam<BcastCase> {};
+
+TEST_P(BroadcastParamTest, EveryNodeReceivesRootPayload) {
+  const BcastCase c = GetParam();
+  const std::size_t bytes = 64 * 1024;  // 8 submessages at k=8, 1 KiB chunk
+  sim::Simulator sim;
+  BinomialBroadcast bcast(sim, make_config(c.kind, c.nodes, bytes, c.p_drop));
+  auto buffers = make_buffers(c.nodes, bytes);
+  const std::vector<std::uint8_t> root_copy = buffers[0];
+
+  const BroadcastResult result = bcast.run(buffers);
+  ASSERT_TRUE(result.status.is_ok()) << result.status;
+  EXPECT_GT(result.completion_s, 0.0);
+  for (std::size_t i = 0; i < c.nodes; ++i) {
+    ASSERT_EQ(std::memcmp(buffers[i].data(), root_copy.data(), bytes), 0)
+        << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BroadcastParamTest,
+    ::testing::Values(
+        BcastCase{reliability::ReliableChannel::Kind::kSrRto, 2, 0.0},
+        BcastCase{reliability::ReliableChannel::Kind::kSrRto, 8, 0.02},
+        BcastCase{reliability::ReliableChannel::Kind::kSrNack, 5, 0.02},
+        BcastCase{reliability::ReliableChannel::Kind::kEcMds, 8, 0.02},
+        BcastCase{reliability::ReliableChannel::Kind::kEcMds, 3, 0.05},
+        BcastCase{reliability::ReliableChannel::Kind::kSrRto, 16, 0.01}),
+    [](const ::testing::TestParamInfo<BcastCase>& pinfo) {
+      const char* kind = "";
+      switch (pinfo.param.kind) {
+        case reliability::ReliableChannel::Kind::kSrRto: kind = "SrRto"; break;
+        case reliability::ReliableChannel::Kind::kSrNack: kind = "SrNack"; break;
+        case reliability::ReliableChannel::Kind::kEcMds: kind = "EcMds"; break;
+        case reliability::ReliableChannel::Kind::kEcXor: kind = "EcXor"; break;
+      }
+      return std::string(kind) + "_n" + std::to_string(pinfo.param.nodes) +
+             "_p" + std::to_string(static_cast<int>(pinfo.param.p_drop * 1000));
+    });
+
+TEST(BroadcastTest, RoundCountIsCeilLog2) {
+  for (const auto& [n, rounds] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}}) {
+    sim::Simulator sim;
+    BinomialBroadcast bcast(
+        sim, make_config(reliability::ReliableChannel::Kind::kSrRto, n,
+                         8 * 1024, 0.0));
+    auto buffers = make_buffers(n, 8 * 1024);
+    const BroadcastResult result = bcast.run(buffers);
+    ASSERT_TRUE(result.status.is_ok());
+    EXPECT_EQ(result.rounds, rounds) << "n=" << n;
+  }
+}
+
+TEST(BroadcastTest, CompletionGrowsLogarithmically) {
+  // Lossless: doubling the node count adds ~one round, not ~N rounds.
+  auto completion = [&](std::size_t n) {
+    sim::Simulator sim;
+    BinomialBroadcast bcast(
+        sim, make_config(reliability::ReliableChannel::Kind::kSrRto, n,
+                         8 * 1024, 0.0));
+    auto buffers = make_buffers(n, 8 * 1024);
+    const BroadcastResult r = bcast.run(buffers);
+    EXPECT_TRUE(r.status.is_ok());
+    return r.completion_s;
+  };
+  const double t4 = completion(4);
+  const double t16 = completion(16);
+  // 16 nodes = 4 rounds vs 2 rounds: about 2x, far below the 5x a linear
+  // chain would cost.
+  EXPECT_LT(t16, t4 * 3.0);
+  EXPECT_GT(t16, t4 * 1.2);
+}
+
+TEST(BroadcastTest, BufferValidation) {
+  sim::Simulator sim;
+  BinomialBroadcast bcast(
+      sim, make_config(reliability::ReliableChannel::Kind::kSrRto, 4,
+                       8 * 1024, 0.0));
+  std::vector<std::vector<std::uint8_t>> wrong_count(3);
+  EXPECT_EQ(bcast.run(wrong_count).status.code(),
+            StatusCode::kInvalidArgument);
+  std::vector<std::vector<std::uint8_t>> wrong_size(
+      4, std::vector<std::uint8_t>(100));
+  EXPECT_EQ(bcast.run(wrong_size).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdr::collectives

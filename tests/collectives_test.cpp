@@ -1,0 +1,199 @@
+// Executable inter-datacenter ring Allreduce over the full stack (sim
+// channels -> software NIC -> SDR -> SR/EC reliability): numerical
+// correctness across schemes, loss levels and ring sizes, plus timing
+// sanity against the model's lower bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "collectives/ring_allreduce.hpp"
+#include "common/rng.hpp"
+
+namespace sdr::collectives {
+namespace {
+
+RingConfig base_config(reliability::ReliableChannel::Kind kind,
+                       std::size_t nodes, std::size_t elements,
+                       double p_drop) {
+  RingConfig cfg;
+  cfg.nodes = nodes;
+  cfg.elements = elements;
+  cfg.p_drop_forward = p_drop;
+  cfg.p_drop_backward = 0.0;
+  cfg.seed = 1234;
+
+  cfg.link.bandwidth_bps = 100e9;
+  cfg.link.distance_km = 500.0;  // 5 ms RTT per hop
+  cfg.link.seed = 77;
+
+  cfg.channel.kind = kind;
+  cfg.channel.profile.bandwidth_bps = cfg.link.bandwidth_bps;
+  cfg.channel.profile.rtt_s = 2.0 * propagation_delay_s(cfg.link.distance_km);
+  cfg.channel.profile.p_drop_packet = p_drop;
+  cfg.channel.profile.mtu = 1024;
+  cfg.channel.profile.chunk_bytes = 1024;
+
+  cfg.channel.attr.mtu = 1024;
+  cfg.channel.attr.chunk_size = 1024;
+  cfg.channel.attr.max_msg_size = 256 * 1024;
+  cfg.channel.attr.max_inflight = 64;
+  cfg.channel.attr.generations = 2;
+
+  cfg.channel.ec.k = 8;
+  cfg.channel.ec.m = 4;
+  cfg.channel.derive_timeouts();
+  return cfg;
+}
+
+std::vector<std::vector<float>> make_inputs(std::size_t nodes,
+                                            std::size_t elements,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> buffers(nodes);
+  for (auto& buf : buffers) {
+    buf.resize(elements);
+    for (auto& v : buf) {
+      v = static_cast<float>(rng.next_below(1000)) * 0.25f;
+    }
+  }
+  return buffers;
+}
+
+std::vector<float> reference_sum(
+    const std::vector<std::vector<float>>& inputs) {
+  std::vector<float> sum(inputs[0].size(), 0.0f);
+  for (const auto& buf : inputs) {
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += buf[i];
+  }
+  return sum;
+}
+
+void expect_allreduced(const std::vector<std::vector<float>>& buffers,
+                       const std::vector<float>& expect) {
+  for (std::size_t rank = 0; rank < buffers.size(); ++rank) {
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      // Ring reduction order differs from the reference order; float sums
+      // may differ in the last ulp.
+      ASSERT_NEAR(buffers[rank][i], expect[i],
+                  std::abs(expect[i]) * 1e-5f + 1e-4f)
+          << "rank " << rank << " element " << i;
+    }
+  }
+}
+
+struct RingCase {
+  reliability::ReliableChannel::Kind kind;
+  std::size_t nodes;
+  double p_drop;
+};
+
+class RingAllreduceParamTest : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(RingAllreduceParamTest, ComputesElementwiseSum) {
+  const RingCase c = GetParam();
+  // Segment: elements/nodes floats; for EC must be multiple of k*chunk =
+  // 8 KiB -> segment 2048 floats.
+  const std::size_t elements = 2048 * c.nodes;
+  sim::Simulator sim;
+  RingConfig cfg = base_config(c.kind, c.nodes, elements, c.p_drop);
+  RingAllreduce ring(sim, cfg);
+
+  auto buffers = make_inputs(c.nodes, elements, 99 + c.nodes);
+  const auto expect = reference_sum(buffers);
+  const RingResult result = ring.run(buffers);
+  ASSERT_TRUE(result.status.is_ok()) << result.status;
+  EXPECT_GT(result.completion_s, 0.0);
+  expect_allreduced(buffers, expect);
+  if (c.p_drop > 0.0 &&
+      c.kind == reliability::ReliableChannel::Kind::kSrRto) {
+    EXPECT_GT(result.total_retransmissions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, RingAllreduceParamTest,
+    ::testing::Values(
+        RingCase{reliability::ReliableChannel::Kind::kSrRto, 2, 0.0},
+        RingCase{reliability::ReliableChannel::Kind::kSrRto, 4, 0.02},
+        RingCase{reliability::ReliableChannel::Kind::kSrNack, 4, 0.02},
+        RingCase{reliability::ReliableChannel::Kind::kEcMds, 4, 0.02},
+        RingCase{reliability::ReliableChannel::Kind::kEcXor, 4, 0.005},
+        RingCase{reliability::ReliableChannel::Kind::kEcMds, 8, 0.01},
+        RingCase{reliability::ReliableChannel::Kind::kSrRto, 8, 0.0}),
+    [](const ::testing::TestParamInfo<RingCase>& pinfo) {
+      const char* kind = "";
+      switch (pinfo.param.kind) {
+        case reliability::ReliableChannel::Kind::kSrRto: kind = "SrRto"; break;
+        case reliability::ReliableChannel::Kind::kSrNack: kind = "SrNack"; break;
+        case reliability::ReliableChannel::Kind::kEcMds: kind = "EcMds"; break;
+        case reliability::ReliableChannel::Kind::kEcXor: kind = "EcXor"; break;
+      }
+      return std::string(kind) + "_n" + std::to_string(pinfo.param.nodes) +
+             "_p" + std::to_string(static_cast<int>(pinfo.param.p_drop * 1000));
+    });
+
+TEST(RingAllreduceTest, CompletionTimeRespectsStageBound) {
+  // 2N-2 stages of at least (segment injection + RTT) each, pipelined:
+  // completion >= (2N-2) * ideal stage time is the Appendix C bound for
+  // the lossless case.
+  const std::size_t nodes = 4;
+  const std::size_t elements = 2048 * nodes;
+  sim::Simulator sim;
+  RingConfig cfg = base_config(reliability::ReliableChannel::Kind::kSrRto,
+                               nodes, elements, 0.0);
+  RingAllreduce ring(sim, cfg);
+  auto buffers = make_inputs(nodes, elements, 7);
+  const RingResult result = ring.run(buffers);
+  ASSERT_TRUE(result.status.is_ok());
+
+  const double seg_bytes = 2048 * sizeof(float);
+  const double stage_floor =
+      seg_bytes * 8.0 / cfg.link.bandwidth_bps + cfg.channel.profile.rtt_s;
+  EXPECT_GE(result.completion_s, (2.0 * nodes - 2.0) * stage_floor * 0.9);
+}
+
+TEST(RingAllreduceTest, LossSlowsCompletion) {
+  const std::size_t nodes = 4;
+  const std::size_t elements = 2048 * nodes;
+  auto run_with = [&](double p) {
+    sim::Simulator sim;
+    RingConfig cfg = base_config(reliability::ReliableChannel::Kind::kSrRto,
+                                 nodes, elements, p);
+    RingAllreduce ring(sim, cfg);
+    auto buffers = make_inputs(nodes, elements, 5);
+    const RingResult r = ring.run(buffers);
+    EXPECT_TRUE(r.status.is_ok());
+    return r.completion_s;
+  };
+  EXPECT_GT(run_with(0.05), run_with(0.0));
+}
+
+TEST(RingAllreduceTest, InvalidConfigurationRejected) {
+  sim::Simulator sim;
+  RingConfig cfg = base_config(reliability::ReliableChannel::Kind::kSrRto, 4,
+                               1002, 0.0);  // 1002 % 4 != 0
+  RingAllreduce ring(sim, cfg);
+  auto buffers = make_inputs(4, 1002, 3);
+  EXPECT_EQ(ring.run(buffers).status.code(), StatusCode::kInvalidArgument);
+
+  // EC granularity violation: segment not a multiple of k*chunk.
+  sim::Simulator sim2;
+  RingConfig cfg2 = base_config(reliability::ReliableChannel::Kind::kEcMds, 4,
+                                4 * 512, 0.0);  // 2 KiB segment < 8 KiB
+  RingAllreduce ring2(sim2, cfg2);
+  auto buffers2 = make_inputs(4, 4 * 512, 3);
+  EXPECT_EQ(ring2.run(buffers2).status.code(), StatusCode::kInvalidArgument);
+
+  // Buffer count mismatch.
+  sim::Simulator sim3;
+  RingConfig cfg3 = base_config(reliability::ReliableChannel::Kind::kSrRto, 4,
+                                2048 * 4, 0.0);
+  RingAllreduce ring3(sim3, cfg3);
+  auto buffers3 = make_inputs(3, 2048 * 4, 3);
+  EXPECT_EQ(ring3.run(buffers3).status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdr::collectives

@@ -1,0 +1,239 @@
+// Tests for the software DPA: SPSC completion rings, multi-worker engine
+// correctness (atomic bitmap updates, exactly-once chunk coalescing),
+// calibration sanity and the packet-rate scaling model.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dpa/calibrate.hpp"
+#include "dpa/engine.hpp"
+#include "dpa/ring.hpp"
+#include "sdr/message_table.hpp"
+
+namespace sdr::dpa {
+namespace {
+
+core::QpAttr engine_attr() {
+  core::QpAttr attr;
+  attr.mtu = 4096;
+  attr.chunk_size = 64 * 1024;    // 16 packets per chunk
+  attr.max_msg_size = 1024 * 1024;  // 256 packets, 16 chunks
+  attr.max_inflight = 16;
+  attr.generations = 2;
+  return attr;
+}
+
+TEST(CompletionRingTest, FifoOrder) {
+  CompletionRing ring(16);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.push(RawCqe{i, 0}));
+  }
+  EXPECT_EQ(ring.size(), 10u);
+  RawCqe out;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out.imm, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(CompletionRingTest, FullRingRejectsPush) {
+  CompletionRing ring(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.push(RawCqe{i, 0}));
+  }
+  EXPECT_FALSE(ring.push(RawCqe{99, 0}));
+  RawCqe out;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.push(RawCqe{99, 0}));
+}
+
+TEST(CompletionRingTest, SpscAcrossThreads) {
+  CompletionRing ring(1 << 10);
+  constexpr std::uint32_t kCount = 200000;
+  std::thread producer([&ring] {
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      while (!ring.push(RawCqe{i, 0})) std::this_thread::yield();
+    }
+  });
+  std::uint64_t sum = 0;
+  std::uint32_t received = 0;
+  RawCqe out;
+  while (received < kCount) {
+    if (ring.pop(out)) {
+      sum += out.imm;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kCount - 1) * kCount / 2);
+}
+
+TEST(DpaEngineTest, SingleWorkerProcessesFullMessage) {
+  const core::QpAttr attr = engine_attr();
+  core::MessageTable table(attr);
+  table.arm(0, 0, attr.max_msg_size);
+
+  Engine engine(table, 1);
+  engine.start();
+  const core::ImmCodec codec(attr.imm);
+  for (std::uint32_t p = 0; p < attr.max_packets_per_msg(); ++p) {
+    while (!engine.ring(0).push(RawCqe{codec.encode(0, p, 0), 0})) {
+      std::this_thread::yield();
+    }
+  }
+  engine.stop();
+
+  const WorkerStats stats = engine.total_stats();
+  EXPECT_EQ(stats.processed, attr.max_packets_per_msg());
+  EXPECT_EQ(stats.chunks_completed, attr.max_chunks_per_msg());
+  EXPECT_EQ(stats.messages_completed, 1u);
+  EXPECT_TRUE(table.message_complete(0));
+}
+
+TEST(DpaEngineTest, MultiWorkerChannelsShareOneMessage) {
+  // Packets of a message striped across 4 worker rings (the multi-channel
+  // design): every chunk must coalesce exactly once despite concurrency.
+  const core::QpAttr attr = engine_attr();
+  core::MessageTable table(attr);
+  table.arm(0, 0, attr.max_msg_size);
+
+  constexpr std::size_t kWorkers = 4;
+  Engine engine(table, kWorkers);
+  engine.start();
+  const core::ImmCodec codec(attr.imm);
+  for (std::uint32_t p = 0; p < attr.max_packets_per_msg(); ++p) {
+    const std::size_t w = p % kWorkers;
+    while (!engine.ring(w).push(RawCqe{codec.encode(0, p, 0), 0})) {
+      std::this_thread::yield();
+    }
+  }
+  engine.stop();
+
+  const WorkerStats stats = engine.total_stats();
+  EXPECT_EQ(stats.processed, attr.max_packets_per_msg());
+  EXPECT_EQ(stats.chunks_completed, attr.max_chunks_per_msg())
+      << "each chunk must be promoted exactly once";
+  EXPECT_EQ(stats.messages_completed, 1u);
+  EXPECT_EQ(stats.discarded, 0u);
+  EXPECT_EQ(table.chunk_bitmap(0).popcount(), attr.max_chunks_per_msg());
+}
+
+TEST(DpaEngineTest, StaleGenerationDiscardedConcurrently) {
+  const core::QpAttr attr = engine_attr();
+  core::MessageTable table(attr);
+  table.arm(0, 1, attr.max_msg_size);  // generation 1
+
+  Engine engine(table, 2);
+  engine.start();
+  const core::ImmCodec codec(attr.imm);
+  // Half the packets arrive with a stale generation 0.
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const std::uint32_t gen = (p % 2 == 0) ? 1 : 0;
+    while (!engine.ring(p % 2).push(RawCqe{codec.encode(0, p, 0), gen})) {
+      std::this_thread::yield();
+    }
+  }
+  engine.stop();
+  const WorkerStats stats = engine.total_stats();
+  EXPECT_EQ(stats.processed, 64u);
+  EXPECT_EQ(stats.discarded, 32u);
+  EXPECT_EQ(table.packets_received(0), 32u);
+}
+
+TEST(DpaEngineTest, DuplicateCompletionsIdempotent) {
+  const core::QpAttr attr = engine_attr();
+  core::MessageTable table(attr);
+  table.arm(0, 0, attr.max_msg_size);
+  Engine engine(table, 2);
+  engine.start();
+  const core::ImmCodec codec(attr.imm);
+  // Every packet delivered twice, split across the two rings.
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t p = 0; p < attr.max_packets_per_msg(); ++p) {
+      while (!engine.ring(round).push(RawCqe{codec.encode(0, p, 0), 0})) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  engine.stop();
+  EXPECT_EQ(table.packets_received(0), attr.max_packets_per_msg());
+  EXPECT_EQ(engine.total_stats().chunks_completed, attr.max_chunks_per_msg());
+  EXPECT_EQ(engine.total_stats().messages_completed, 1u);
+}
+
+TEST(DpaEngineTest, RestartAfterStop) {
+  const core::QpAttr attr = engine_attr();
+  core::MessageTable table(attr);
+  table.arm(0, 0, 64 * 1024);
+  Engine engine(table, 1);
+  engine.start();
+  engine.stop();
+  EXPECT_FALSE(engine.running());
+  engine.start();
+  const core::ImmCodec codec(attr.imm);
+  engine.ring(0).push(RawCqe{codec.encode(0, 0, 0), 0});
+  engine.stop();
+  EXPECT_EQ(engine.total_stats().processed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration & scaling model
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTest, CostsArePositiveAndSane) {
+  const core::QpAttr attr = engine_attr();
+  const Calibration cal = calibrate(attr, 1 << 16);
+  EXPECT_GT(cal.ns_per_cqe, 1.0);     // sub-ns per CQE would be implausible
+  EXPECT_LT(cal.ns_per_cqe, 10000.0); // and >10us means something is broken
+  EXPECT_GT(cal.ns_per_repost, 0.0);
+}
+
+TEST(CalibrationTest, PacketRateScalesLinearlyInWorkers) {
+  Calibration cal;
+  cal.ns_per_cqe = 100.0;
+  EXPECT_DOUBLE_EQ(achievable_packet_rate(cal, 1), 1e7);
+  EXPECT_DOUBLE_EQ(achievable_packet_rate(cal, 16), 16e7);
+  EXPECT_DOUBLE_EQ(achievable_packet_rate(cal, 128), 128e7);
+}
+
+TEST(CalibrationTest, WirePacketRateMatchesPaperFigure) {
+  // Paper §5.4.2: "theoretical packet rate of 400 Gbit/s link at 4 KiB MTU
+  // is 11.6 million [pps]".
+  const double pps = wire_packet_rate(400e9, 4096);
+  EXPECT_NEAR(pps / 1e6, 11.96, 0.5);
+}
+
+TEST(CalibrationTest, ThroughputModelShape) {
+  // The modeled SDR goodput must (a) saturate for large messages and
+  // (b) degrade for small messages due to repost overhead (Fig 14 shape).
+  Calibration cal;
+  cal.ns_per_cqe = 80.0;
+  cal.ns_per_repost = 2000.0;
+  core::QpAttr attr = engine_attr();
+  const double line = 400e9;
+  const double small = modeled_throughput_bps(cal, attr, line, 64 * 1024, 20);
+  const double mid = modeled_throughput_bps(cal, attr, line, 512 * 1024, 20);
+  const double big = modeled_throughput_bps(cal, attr, line, 16 << 20, 20);
+  EXPECT_LT(small, mid);
+  EXPECT_LE(mid, big * 1.001);
+  EXPECT_NEAR(big, line, line * 0.1);  // saturation near line rate
+}
+
+TEST(CalibrationTest, MoreWorkersNeverSlower) {
+  Calibration cal;
+  cal.ns_per_cqe = 80.0;
+  cal.ns_per_repost = 2000.0;
+  core::QpAttr attr = engine_attr();
+  double prev = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double t =
+        modeled_throughput_bps(cal, attr, 3.2e12, 1 << 20, workers);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace sdr::dpa

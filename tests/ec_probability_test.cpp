@@ -1,0 +1,132 @@
+// Validate the Appendix B decode-probability formulas against Monte-Carlo
+// simulation of the actual codecs' can_recover predicates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ec/probability.hpp"
+#include "ec/reed_solomon.hpp"
+#include "ec/xor_code.hpp"
+
+namespace sdr::ec {
+namespace {
+
+double monte_carlo_success(const ErasureCodec& codec, double p_drop,
+                           std::uint64_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t total = codec.k() + codec.m();
+  PresenceMap present(total);
+  std::uint64_t ok = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < total; ++i) {
+      present[i] = !rng.bernoulli(p_drop);
+    }
+    ok += codec.can_recover(present) ? 1 : 0;
+  }
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+struct ProbCase {
+  std::size_t k;
+  std::size_t m;
+  double p;
+};
+
+class MdsProbTest : public ::testing::TestWithParam<ProbCase> {};
+
+TEST_P(MdsProbTest, FormulaMatchesMonteCarlo) {
+  const auto [k, m, p] = GetParam();
+  ReedSolomon rs(k, m);
+  const double formula = p_ec_mds(k, m, p);
+  const double mc = monte_carlo_success(rs, p, 200000,
+                                        k * 7919 + m * 104729 + 13);
+  EXPECT_NEAR(mc, formula, 0.01) << "k=" << k << " m=" << m << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MdsProbTest,
+    ::testing::Values(ProbCase{32, 8, 0.01}, ProbCase{32, 8, 0.05},
+                      ProbCase{32, 8, 0.2}, ProbCase{8, 4, 0.1},
+                      ProbCase{16, 2, 0.05}, ProbCase{4, 2, 0.3}));
+
+class XorProbTest : public ::testing::TestWithParam<ProbCase> {};
+
+TEST_P(XorProbTest, FormulaMatchesMonteCarlo) {
+  const auto [k, m, p] = GetParam();
+  XorCode xc(k, m);
+  const double formula = p_ec_xor(k, m, p);
+  const double mc = monte_carlo_success(xc, p, 200000,
+                                        k * 7919 + m * 104729 + 29);
+  // The closed form assumes each group independently loses <= 1 of its n
+  // blocks; our can_recover additionally demands the parity be present
+  // when a data block is missing -- identical condition, so they agree.
+  EXPECT_NEAR(mc, formula, 0.01) << "k=" << k << " m=" << m << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XorProbTest,
+    ::testing::Values(ProbCase{32, 8, 0.01}, ProbCase{32, 8, 0.05},
+                      ProbCase{8, 4, 0.1}, ProbCase{16, 8, 0.02},
+                      ProbCase{8, 8, 0.3}));
+
+TEST(ProbabilityTest, MdsStrongerThanXor) {
+  // Paper Fig 11 narrative: "XOR falls back to SR at ~1e-3 drop rate,
+  // while MDS remains robust beyond 1e-2" — at equal (k, m) the MDS
+  // success probability dominates the XOR one.
+  for (double p : {1e-4, 1e-3, 1e-2, 5e-2}) {
+    EXPECT_GE(p_ec_mds(32, 8, p) + 1e-15, p_ec_xor(32, 8, p)) << p;
+  }
+}
+
+TEST(ProbabilityTest, MonotoneInDropRate) {
+  double prev_mds = 1.0, prev_xor = 1.0;
+  for (double p = 1e-5; p < 0.5; p *= 3.0) {
+    const double cur_mds = p_ec_mds(32, 8, p);
+    const double cur_xor = p_ec_xor(32, 8, p);
+    EXPECT_LE(cur_mds, prev_mds + 1e-12);
+    EXPECT_LE(cur_xor, prev_xor + 1e-12);
+    prev_mds = cur_mds;
+    prev_xor = cur_xor;
+  }
+}
+
+TEST(ProbabilityTest, MoreParityHelps) {
+  for (double p : {1e-3, 1e-2, 0.1}) {
+    EXPECT_GE(p_ec_mds(32, 8, p), p_ec_mds(32, 4, p) - 1e-12);
+    EXPECT_GE(p_ec_mds(32, 16, p), p_ec_mds(32, 8, p) - 1e-12);
+  }
+}
+
+TEST(ProbabilityTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(p_ec_mds(32, 8, 0.0), 1.0);
+  EXPECT_NEAR(p_ec_mds(32, 8, 1.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p_ec_xor(32, 8, 0.0), 1.0);
+  EXPECT_NEAR(p_ec_xor(32, 8, 1.0), 0.0, 1e-12);
+}
+
+TEST(ProbabilityTest, BinomialHelpers) {
+  // C(5,2) = 10.
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  // PMF sums to 1.
+  double total = 0.0;
+  for (std::uint64_t x = 0; x <= 20; ++x) total += binomial_pmf(20, x, 0.3);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // CDF at n is 1.
+  EXPECT_NEAR(binomial_cdf(100, 100, 0.77), 1.0, 1e-12);
+  // Large-n stability (the regime the models hit).
+  const double v = binomial_pmf(1u << 20, 10, 1e-5);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(ProbabilityTest, ChunkDropProbability) {
+  // Fig 15: P_chunk = 1 - (1-p)^N.
+  EXPECT_NEAR(chunk_drop_probability(1e-5, 1), 1e-5, 1e-9);
+  EXPECT_NEAR(chunk_drop_probability(1e-5, 16), 1.6e-4, 2e-6);
+  EXPECT_NEAR(chunk_drop_probability(1e-5, 64), 6.4e-4, 1e-5);
+  EXPECT_NEAR(chunk_drop_probability(0.5, 2), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdr::ec

@@ -1,0 +1,256 @@
+// Deterministic fault-injection tests: with ScriptedDrop the exact loss
+// pattern is chosen, so the protocols' responses can be asserted precisely —
+// SR retransmits exactly the dropped chunks; EC recovers exactly up to its
+// code tolerance and falls back one drop beyond it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ec/reed_solomon.hpp"
+#include "reliability/ec_protocol.hpp"
+#include "reliability/sr_protocol.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/drop_model.hpp"
+#include "sim/simulator.hpp"
+#include "verbs/nic.hpp"
+
+namespace sdr::reliability {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 131);
+  }
+  return v;
+}
+
+/// Two NICs connected by a forward channel whose drops are scripted by
+/// SEND INDEX (CTS flows on the lossless backward channel, so data-packet
+/// index == channel send index).
+struct ScriptedPair {
+  sim::Simulator sim;
+  std::unique_ptr<verbs::Nic> a;
+  std::unique_ptr<verbs::Nic> b;
+  std::unique_ptr<sim::DuplexLink> link;
+
+  explicit ScriptedPair(std::vector<std::uint64_t> drops) {
+    sim::Channel::Config cfg;
+    cfg.bandwidth_bps = 100e9;
+    cfg.distance_km = 100.0;
+    cfg.seed = 1;
+    a = std::make_unique<verbs::Nic>(sim, 1);
+    b = std::make_unique<verbs::Nic>(sim, 2);
+    link = std::make_unique<sim::DuplexLink>(
+        sim, cfg, std::make_unique<sim::ScriptedDrop>(std::move(drops)),
+        std::make_unique<sim::IidDrop>(0.0));
+    link->forward().set_receiver(
+        [nic = b.get()](sim::Packet&& p) { nic->deliver(std::move(p)); });
+    link->backward().set_receiver(
+        [nic = a.get()](sim::Packet&& p) { nic->deliver(std::move(p)); });
+    a->add_route(2, &link->forward());
+    b->add_route(1, &link->backward());
+  }
+};
+
+core::QpAttr one_packet_chunks() {
+  core::QpAttr attr;
+  attr.mtu = 1024;
+  attr.chunk_size = 1024;
+  attr.max_msg_size = 64 * 1024;
+  attr.max_inflight = 64;
+  return attr;
+}
+
+TEST(FaultInjectionTest, ScriptedDropHitsExactIndices) {
+  sim::Simulator sim;
+  sim::Channel::Config cfg;
+  cfg.bandwidth_bps = 100e9;
+  cfg.distance_km = 10.0;
+  sim::Channel ch(sim, cfg,
+                  std::make_unique<sim::ScriptedDrop>(
+                      std::vector<std::uint64_t>{0, 3, 7}));
+  std::vector<int> arrived;
+  int idx = 0;
+  ch.set_receiver([&](sim::Packet&&) { arrived.push_back(idx); });
+  for (idx = 0; idx < 10; ++idx) {
+    sim::Packet p;
+    p.bytes = 100;
+    ch.send(std::move(p));
+    sim.run();  // deliver one at a time so idx capture is exact
+  }
+  EXPECT_EQ(arrived, (std::vector<int>{1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(FaultInjectionTest, SrRetransmitsExactlyTheDroppedChunks) {
+  // 16 one-packet chunks; drop chunks 2 and 9 on first transmission.
+  ScriptedPair pair({2, 9});
+  core::Context ctx_a(*pair.a, core::DevAttr{});
+  core::Context ctx_b(*pair.b, core::DevAttr{});
+  core::Qp* qa = ctx_a.create_qp(one_packet_chunks());
+  core::Qp* qb = ctx_b.create_qp(one_packet_chunks());
+  qa->connect(qb->info());
+  qb->connect(qa->info());
+  ControlLink ca(*pair.a), cb(*pair.b);
+  ca.connect(2, cb.qp_number());
+  cb.connect(1, ca.qp_number());
+
+  LinkProfile profile;
+  profile.bandwidth_bps = 100e9;
+  profile.rtt_s = rtt_s(100.0);
+  profile.mtu = 1024;
+  profile.chunk_bytes = 1024;
+  SrProtoConfig config;
+  config.rto_s = 3.0 * profile.rtt_s;
+  config.ack_interval_s = profile.rtt_s / 4.0;
+  SrSender sender(pair.sim, *qa, ca, profile, config);
+  SrReceiver receiver(pair.sim, *qb, cb, profile, config);
+
+  const std::size_t len = 16 * 1024;
+  const auto src = pattern(len, 1);
+  std::vector<std::uint8_t> dst(len, 0);
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  bool ok = false;
+  receiver.expect(dst.data(), len, mr, [&](const Status& s) {
+    ok = s.is_ok();
+  });
+  sender.write(src.data(), len, [](const Status&) {});
+  pair.sim.run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_EQ(sender.stats().retransmissions, 2u)
+      << "exactly the two scripted drops must be retransmitted";
+}
+
+TEST(FaultInjectionTest, EcRecoversExactlyMDropsInPlace) {
+  // One submessage RS(8,4): drop exactly 4 data chunks (= m). The receiver
+  // must decode in place — zero retransmissions, no FTO.
+  ScriptedPair pair({0, 2, 4, 6});  // 4 of the 8 data packets
+  core::Context ctx_a(*pair.a, core::DevAttr{});
+  core::Context ctx_b(*pair.b, core::DevAttr{});
+  core::Qp* qa = ctx_a.create_qp(one_packet_chunks());
+  core::Qp* qb = ctx_b.create_qp(one_packet_chunks());
+  qa->connect(qb->info());
+  qb->connect(qa->info());
+  ControlLink ca(*pair.a), cb(*pair.b);
+  ca.connect(2, cb.qp_number());
+  cb.connect(1, ca.qp_number());
+
+  LinkProfile profile;
+  profile.bandwidth_bps = 100e9;
+  profile.rtt_s = rtt_s(100.0);
+  profile.mtu = 1024;
+  profile.chunk_bytes = 1024;
+  ec::ReedSolomon codec(8, 4);
+  EcProtoConfig config;
+  config.k = 8;
+  config.m = 4;
+  config.fallback_rto_s = 3.0 * profile.rtt_s;
+  config.fallback_ack_interval_s = profile.rtt_s / 4.0;
+  EcSender sender(pair.sim, *qa, ca, profile, codec, config);
+  EcReceiver receiver(pair.sim, *qb, cb, profile, codec, config);
+
+  const std::size_t len = 8 * 1024;  // exactly one submessage
+  const auto src = pattern(len, 2);
+  std::vector<std::uint8_t> dst(len, 0);
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  bool ok = false;
+  receiver.expect(dst.data(), len, mr, [&](const Status& s) {
+    ok = s.is_ok();
+  });
+  sender.write(src.data(), len, [](const Status&) {});
+  pair.sim.run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_EQ(receiver.stats().decoded_submessages, 1u);
+  EXPECT_EQ(receiver.stats().ftos_fired, 0u);
+  EXPECT_EQ(sender.stats().fallback_retransmissions, 0u);
+}
+
+TEST(FaultInjectionTest, EcFallsBackExactlyBeyondTolerance) {
+  // Drop m+1 = 5 chunks of the single submessage: decode is impossible,
+  // the FTO must fire, and the SR fallback must deliver.
+  ScriptedPair pair({0, 1, 2, 3, 4});
+  core::Context ctx_a(*pair.a, core::DevAttr{});
+  core::Context ctx_b(*pair.b, core::DevAttr{});
+  core::Qp* qa = ctx_a.create_qp(one_packet_chunks());
+  core::Qp* qb = ctx_b.create_qp(one_packet_chunks());
+  qa->connect(qb->info());
+  qb->connect(qa->info());
+  ControlLink ca(*pair.a), cb(*pair.b);
+  ca.connect(2, cb.qp_number());
+  cb.connect(1, ca.qp_number());
+
+  LinkProfile profile;
+  profile.bandwidth_bps = 100e9;
+  profile.rtt_s = rtt_s(100.0);
+  profile.mtu = 1024;
+  profile.chunk_bytes = 1024;
+  ec::ReedSolomon codec(8, 4);
+  EcProtoConfig config;
+  config.k = 8;
+  config.m = 4;
+  config.fallback_rto_s = 3.0 * profile.rtt_s;
+  config.fallback_ack_interval_s = profile.rtt_s / 4.0;
+  EcSender sender(pair.sim, *qa, ca, profile, codec, config);
+  EcReceiver receiver(pair.sim, *qb, cb, profile, codec, config);
+
+  const std::size_t len = 8 * 1024;
+  const auto src = pattern(len, 3);
+  std::vector<std::uint8_t> dst(len, 0);
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  bool ok = false;
+  receiver.expect(dst.data(), len, mr, [&](const Status& s) {
+    ok = s.is_ok();
+  });
+  sender.write(src.data(), len, [](const Status&) {});
+  pair.sim.run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_EQ(receiver.stats().ftos_fired, 1u);
+  EXPECT_EQ(receiver.stats().fallback_submessages, 1u);
+  EXPECT_GT(sender.stats().fallback_retransmissions, 0u);
+}
+
+TEST(FaultInjectionTest, BurstInsideOneChunkIsOneChunkDrop) {
+  // Paper §3.1.1: "with a chunk size of 16 packets, dropping 7 packets
+  // inside a chunk would appear to the upper layer as a single chunk
+  // drop". Script a 7-packet burst inside chunk 1 of a 4-chunk message.
+  ScriptedPair pair({16, 17, 18, 19, 20, 21, 22});  // inside packets 16..31
+  core::Context ctx_a(*pair.a, core::DevAttr{});
+  core::Context ctx_b(*pair.b, core::DevAttr{});
+  core::QpAttr attr;
+  attr.mtu = 1024;
+  attr.chunk_size = 16 * 1024;  // 16 packets per chunk
+  attr.max_msg_size = 64 * 1024;
+  core::Qp* qa = ctx_a.create_qp(attr);
+  core::Qp* qb = ctx_b.create_qp(attr);
+  qa->connect(qb->info());
+  qb->connect(qa->info());
+
+  const std::size_t len = 64 * 1024;  // 4 chunks
+  const auto src = pattern(len, 4);
+  std::vector<std::uint8_t> dst(len, 0);
+  const auto* mr = ctx_b.mr_reg(dst.data(), dst.size());
+  core::RecvHandle* rh = nullptr;
+  ASSERT_TRUE(qb->recv_post(dst.data(), len, mr, &rh).is_ok());
+  core::SendHandle* sh = nullptr;
+  ASSERT_TRUE(qa->send_post(src.data(), len, 0, false, &sh).is_ok());
+  pair.sim.run();
+
+  const AtomicBitmap* bitmap = nullptr;
+  ASSERT_TRUE(qb->recv_bitmap_get(rh, &bitmap).is_ok());
+  EXPECT_TRUE(bitmap->test(0));
+  EXPECT_FALSE(bitmap->test(1)) << "the burst chunk is the only gap";
+  EXPECT_TRUE(bitmap->test(2));
+  EXPECT_TRUE(bitmap->test(3));
+  EXPECT_EQ(bitmap->popcount(), 3u);
+}
+
+}  // namespace
+}  // namespace sdr::reliability

@@ -1,0 +1,461 @@
+// Validation of the completion-time models (paper §4.2, §5.1.1): the
+// stochastic simulation must match the analytical expectation within 5%,
+// the fast thinning sampler must match the direct O(M) reference, and the
+// models must reproduce the qualitative regimes of Figs 3/10/12.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "model/allreduce_model.hpp"
+#include "model/ec_model.hpp"
+#include "model/protocols.hpp"
+#include "model/sr_model.hpp"
+
+namespace sdr::model {
+namespace {
+
+LinkParams paper_link(double p_drop = 1e-5) {
+  LinkParams link;
+  link.bandwidth_bps = 400e9;
+  link.rtt_s = 0.025;  // 3750 km
+  link.p_drop = p_drop;
+  link.chunk_bytes = 64 * 1024;
+  return link;
+}
+
+// ---------------------------------------------------------------------------
+// SR model
+// ---------------------------------------------------------------------------
+
+TEST(SrModelTest, LosslessIsInjectionPlusRtt) {
+  const LinkParams link = paper_link(0.0);
+  const std::uint64_t chunks = 1000;
+  const double expected = chunks * link.t_inj() + link.rtt_s;
+  EXPECT_NEAR(sr_expected_completion_s(link, chunks), expected, 1e-12);
+  Rng rng(1);
+  EXPECT_NEAR(sr_sample_completion_s(rng, link, chunks), expected, 1e-12);
+}
+
+TEST(SrModelTest, ZeroChunksIsRtt) {
+  const LinkParams link = paper_link();
+  EXPECT_DOUBLE_EQ(sr_expected_completion_s(link, 0), link.rtt_s);
+}
+
+struct SrCase {
+  std::uint64_t chunks;
+  double p_drop;
+  double rto_mult;
+};
+
+class SrValidationTest : public ::testing::TestWithParam<SrCase> {};
+
+TEST_P(SrValidationTest, StochasticMatchesAnalyticalWithin5Percent) {
+  // Paper §5.1.1: "The mean of 1000 samples from the stochastic model
+  // matches the analytical solution within 5% accuracy."
+  const auto [chunks, p_drop, rto_mult] = GetParam();
+  const LinkParams link = paper_link(p_drop);
+  const SrConfig config{rto_mult};
+
+  const double analytical = sr_expected_completion_s(link, chunks, config);
+  Rng rng(chunks * 131 + static_cast<std::uint64_t>(rto_mult));
+  RunningStats stats;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add(sr_sample_completion_s(rng, link, chunks, config));
+  }
+  EXPECT_NEAR(stats.mean(), analytical, 0.05 * analytical)
+      << "chunks=" << chunks << " p=" << p_drop << " rto=" << rto_mult;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SrValidationTest,
+    ::testing::Values(SrCase{16, 1e-3, 3.0}, SrCase{2048, 1e-5, 3.0},
+                      SrCase{2048, 1e-3, 3.0}, SrCase{2048, 1e-2, 1.0},
+                      SrCase{65536, 1e-4, 3.0}, SrCase{512, 0.05, 3.0},
+                      SrCase{1u << 17, 1e-5, 1.0}, SrCase{64, 0.2, 3.0}));
+
+TEST(SrModelTest, ThinningSamplerMatchesDirectReference) {
+  const LinkParams link = paper_link(5e-3);
+  const std::uint64_t chunks = 4096;
+  RunningStats fast, direct;
+  Rng rng_fast(7), rng_direct(7919);
+  for (int i = 0; i < 3000; ++i) {
+    fast.add(sr_sample_completion_s(rng_fast, link, chunks));
+    direct.add(sr_sample_completion_direct_s(rng_direct, link, chunks));
+  }
+  EXPECT_NEAR(fast.mean(), direct.mean(), 0.03 * direct.mean());
+  EXPECT_NEAR(fast.stddev(), direct.stddev(), 0.25 * direct.stddev() + 1e-6);
+}
+
+TEST(SrModelTest, PeakSlowdownNearInverseDropRate) {
+  // Fig 3a: SR slowdown peaks when the message is large enough that a drop
+  // is likely (M ~ 1/p) but small enough that RTO cannot be hidden. The
+  // paper's Fig 3 operates at packet (MTU) granularity.
+  LinkParams link = paper_link(1e-5);
+  link.chunk_bytes = 4096;
+  // Slowdown at M = 1/p = 1e5 chunks vs a small message (drops unlikely)
+  // and a huge message (retransmissions hidden by injection).
+  auto slowdown = [&](std::uint64_t chunks) {
+    return sr_expected_completion_s(link, chunks) /
+           ideal_completion_s(link, chunks);
+  };
+  const double at_peak = slowdown(100000);
+  const double tiny = slowdown(64);
+  const double huge = slowdown(32u << 20);  // 128 GiB: injection-dominated
+  EXPECT_GT(at_peak, 1.5);
+  EXPECT_LT(tiny, 1.05);
+  EXPECT_LT(huge, at_peak * 0.7);
+}
+
+TEST(SrModelTest, NackBeatsRtoWhenDropsHurt) {
+  // Fig 10: reducing drop detection to 1 RTT improves SR by up to ~4x.
+  const LinkParams link = paper_link(1e-4);
+  const std::uint64_t chunks = 2048;  // 128 MiB / 64 KiB
+  const double rto = sr_expected_completion_s(link, chunks, SrConfig{3.0});
+  const double nack = sr_expected_completion_s(link, chunks, SrConfig{1.0});
+  EXPECT_LT(nack, rto);
+}
+
+TEST(SrModelTest, MonotoneInDropRate) {
+  const std::uint64_t chunks = 2048;
+  double prev = 0.0;
+  for (double p = 1e-7; p < 0.3; p *= 10.0) {
+    const double t = sr_expected_completion_s(paper_link(p), chunks);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SR analytical CDF / quantiles
+// ---------------------------------------------------------------------------
+
+TEST(SrQuantileTest, CdfIsMonotoneAndBounded) {
+  const LinkParams link = paper_link(1e-3);
+  const std::uint64_t chunks = 2048;
+  double prev = 0.0;
+  const double lo = chunks * link.t_inj() + link.rtt_s;
+  for (double t = lo * 0.5; t < lo + 1.0; t += 0.01) {
+    const double cdf = sr_completion_cdf(link, chunks, SrConfig{3.0}, t);
+    EXPECT_GE(cdf, prev - 1e-12);
+    EXPECT_GE(cdf, 0.0);
+    EXPECT_LE(cdf, 1.0);
+    prev = cdf;
+  }
+  EXPECT_DOUBLE_EQ(sr_completion_cdf(link, chunks, SrConfig{3.0}, lo * 0.9),
+                   0.0);
+}
+
+TEST(SrQuantileTest, QuantileInvertsCdf) {
+  const LinkParams link = paper_link(1e-3);
+  const std::uint64_t chunks = 2048;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double t = sr_completion_quantile(link, chunks, SrConfig{3.0}, q);
+    const double cdf = sr_completion_cdf(link, chunks, SrConfig{3.0}, t);
+    // The completion time has atoms (discrete retransmission counts), so
+    // the CDF at the quantile may overshoot q but must never undershoot.
+    EXPECT_GE(cdf, q - 1e-9) << "q=" << q;
+    EXPECT_LE(cdf, q + 0.05) << "q=" << q;
+  }
+}
+
+TEST(SrQuantileTest, MatchesSampledPercentiles) {
+  const LinkParams link = paper_link(1e-3);
+  const std::uint64_t chunks = 2048;
+  const auto dist =
+      sample_distribution(Scheme::kSrRto, link, chunks, 20000, 99);
+  const double p50 = sr_completion_quantile(link, chunks, SrConfig{3.0}, 0.5);
+  const double p999 =
+      sr_completion_quantile(link, chunks, SrConfig{3.0}, 0.999);
+  EXPECT_NEAR(dist.p50, p50, p50 * 0.05);
+  EXPECT_NEAR(dist.p999, p999, p999 * 0.10);
+}
+
+TEST(SrQuantileTest, LosslessQuantileIsDeterministic) {
+  const LinkParams link = paper_link(0.0);
+  const double t = sr_completion_quantile(link, 1000, SrConfig{3.0}, 0.999);
+  EXPECT_NEAR(t, 1000 * link.t_inj() + link.rtt_s, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// EC model
+// ---------------------------------------------------------------------------
+
+TEST(EcModelTest, NoDropsCostsParityBandwidthOnly) {
+  const LinkParams link = paper_link(0.0);
+  const std::uint64_t chunks = 2048;
+  EcConfig config;  // (32, 8): 25% parity overhead
+  const double t = ec_expected_completion_s(link, chunks, config);
+  const double expected = (chunks + chunks / 4) * link.t_inj() + link.rtt_s;
+  EXPECT_NEAR(t, expected, expected * 1e-9);
+}
+
+TEST(EcModelTest, StochasticMatchesExpectationLowFallback) {
+  // In the regime where fallback is rare the expectation terms must agree
+  // with sampling (within 5%, as for SR).
+  const LinkParams link = paper_link(1e-4);
+  const std::uint64_t chunks = 2048;
+  EcConfig config;
+  const double analytical = ec_expected_completion_s(link, chunks, config);
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add(ec_sample_completion_s(rng, link, chunks, config));
+  }
+  EXPECT_NEAR(stats.mean(), analytical, 0.05 * analytical);
+}
+
+TEST(EcModelTest, FallbackProbabilityMatchesFormula) {
+  EcConfig config;
+  const double p = 0.05;
+  const std::uint64_t L = 64;
+  const double p_ok = ec_submessage_success(config, p);
+  EXPECT_NEAR(ec_fallback_probability(config, p, L),
+              1.0 - std::pow(p_ok, static_cast<double>(L)), 1e-12);
+}
+
+TEST(EcModelTest, EcBeatsSrInTheRedRegion) {
+  // Fig 9 red region: 128 MiB at p in [1e-4, 1e-2] on the 400G/25ms link.
+  const std::uint64_t chunks = 2048;  // 128 MiB
+  for (double p : {1e-4, 1e-3}) {
+    const LinkParams link = paper_link(p);
+    const double sr = sr_expected_completion_s(link, chunks, SrConfig{3.0});
+    const double ec = ec_expected_completion_s(link, chunks, EcConfig{});
+    EXPECT_LT(ec, sr) << "p=" << p;
+  }
+}
+
+TEST(EcModelTest, SrWinsForHugeMessagesAtLowDrop) {
+  // Fig 3a/§5.2.2: above the BDP the injection pipeline hides SR
+  // retransmissions while EC pays its parity bandwidth.
+  const LinkParams link = paper_link(1e-6);
+  const std::uint64_t chunks = 2u << 20;  // 128 GiB at 64 KiB chunks
+  const double sr = sr_expected_completion_s(link, chunks, SrConfig{3.0});
+  const double ec = ec_expected_completion_s(link, chunks, EcConfig{});
+  EXPECT_LT(sr, ec);
+}
+
+TEST(EcModelTest, XorWeakerThanMdsAtHighDrop) {
+  const LinkParams link = paper_link(5e-3);
+  const std::uint64_t chunks = 2048;
+  EcConfig mds;
+  mds.kind = EcCodeKind::kMds;
+  EcConfig xorc;
+  xorc.kind = EcCodeKind::kXor;
+  EXPECT_LE(ec_expected_completion_s(link, chunks, mds),
+            ec_expected_completion_s(link, chunks, xorc));
+}
+
+TEST(EcModelTest, WireChunksAccounting) {
+  EcConfig config;  // k=32, m=8 -> R=4
+  EXPECT_EQ(ec_wire_chunks(config, 2048), 2048u + 512u);
+  EXPECT_EQ(ec_wire_chunks(config, 1), 2u);  // ceil(1/4) = 1 parity chunk
+}
+
+// ---------------------------------------------------------------------------
+// EC analytical CDF / quantiles
+// ---------------------------------------------------------------------------
+
+TEST(EcQuantileTest, CleanRegimeIsAnAtom) {
+  // At negligible drop the EC completion is deterministic: every quantile
+  // equals injection(data+parity) + RTT.
+  const LinkParams link = paper_link(1e-9);
+  const std::uint64_t chunks = 2048;
+  EcConfig config;
+  const double atom =
+      static_cast<double>(ec_wire_chunks(config, chunks)) * link.t_inj() +
+      link.rtt_s;
+  for (double q : {0.1, 0.5, 0.999}) {
+    EXPECT_NEAR(ec_completion_quantile(link, chunks, config, q), atom,
+                atom * 1e-6)
+        << q;
+  }
+}
+
+TEST(EcQuantileTest, CdfMonotoneAndMatchesFallbackMass) {
+  const LinkParams link = paper_link(5e-3);
+  const std::uint64_t chunks = 2048;
+  EcConfig config;
+  const double base =
+      static_cast<double>(ec_wire_chunks(config, chunks)) * link.t_inj();
+  const double atom_cdf =
+      ec_completion_cdf(link, chunks, config, base + link.rtt_s);
+  // Right at the atom the CDF equals the no-fallback probability.
+  EXPECT_NEAR(atom_cdf, 1.0 - ec_fallback_probability(config, link.p_drop,
+                                                      chunks / config.k),
+              1e-9);
+  double prev = 0.0;
+  for (double t = base; t < base + 1.0; t += 0.005) {
+    const double cdf = ec_completion_cdf(link, chunks, config, t);
+    EXPECT_GE(cdf, prev - 1e-12);
+    prev = cdf;
+  }
+}
+
+TEST(EcQuantileTest, MatchesSampledPercentiles) {
+  const LinkParams link = paper_link(8e-3);  // fallback-prone regime
+  const std::uint64_t chunks = 2048;
+  EcConfig config;
+  const auto dist =
+      sample_distribution(Scheme::kEcMds, link, chunks, 20000, 77);
+  const double p50 = ec_completion_quantile(link, chunks, config, 0.5);
+  const double p999 = ec_completion_quantile(link, chunks, config, 0.999);
+  EXPECT_NEAR(dist.p50, p50, p50 * 0.05);
+  EXPECT_NEAR(dist.p999, p999, p999 * 0.15);
+}
+
+TEST(EcQuantileTest, UnifiedDispatcherAgrees) {
+  const LinkParams link = paper_link(1e-3);
+  const std::uint64_t chunks = 1024;
+  EXPECT_DOUBLE_EQ(
+      quantile_completion_s(Scheme::kSrRto, link, chunks, 0.999),
+      sr_completion_quantile(link, chunks, SrConfig{3.0}, 0.999));
+  EXPECT_DOUBLE_EQ(
+      quantile_completion_s(Scheme::kEcMds, link, chunks, 0.999),
+      ec_completion_quantile(link, chunks, EcConfig{}, 0.999));
+  EXPECT_DOUBLE_EQ(quantile_completion_s(Scheme::kIdeal, link, chunks, 0.999),
+                   ideal_completion_s(link, chunks));
+}
+
+// ---------------------------------------------------------------------------
+// Scheme dispatcher
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolsTest, SchemeNamesAndDispatch) {
+  EXPECT_EQ(scheme_name(Scheme::kSrRto), "SR RTO");
+  EXPECT_EQ(scheme_name(Scheme::kEcMds), "EC MDS");
+  const LinkParams link = paper_link(1e-4);
+  // Ideal <= every scheme.
+  const double ideal = expected_completion_s(Scheme::kIdeal, link, 2048);
+  for (Scheme s : {Scheme::kSrRto, Scheme::kSrNack, Scheme::kEcMds,
+                   Scheme::kEcXor}) {
+    EXPECT_GE(expected_completion_s(s, link, 2048), ideal * 0.999);
+  }
+}
+
+TEST(ProtocolsTest, DistributionSummaryIsDeterministicPerSeed) {
+  const LinkParams link = paper_link(1e-3);
+  const auto a = sample_distribution(Scheme::kSrRto, link, 2048, 500, 42);
+  const auto b = sample_distribution(Scheme::kSrRto, link, 2048, 500, 42);
+  const auto c = sample_distribution(Scheme::kSrRto, link, 2048, 500, 43);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p999, b.p999);
+  EXPECT_NE(a.mean, c.mean);
+  EXPECT_GE(a.p999, a.p50);
+  EXPECT_GE(a.p50, 0.0);
+}
+
+TEST(ProtocolsTest, TailDominatesMeanUnderLoss) {
+  const LinkParams link = paper_link(1e-4);
+  const auto d = sample_distribution(Scheme::kSrRto, link, 2048, 4000, 7);
+  EXPECT_GT(d.p999, d.mean);
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce model (Appendix C / Fig 13)
+// ---------------------------------------------------------------------------
+
+TEST(AllreduceModelTest, LowerBoundHolds) {
+  AllreduceParams params;
+  params.datacenters = 4;
+  params.buffer_bytes = 128ull << 20;
+  params.link = paper_link(1e-4);
+  params.scheme = Scheme::kSrRto;
+  const double bound = allreduce_expected_lower_bound_s(params);
+  const auto dist = allreduce_distribution(params, 300, 11);
+  EXPECT_GE(dist.mean, bound * 0.95)
+      << "sampled mean must respect the Appendix C lower bound";
+}
+
+TEST(AllreduceModelTest, CostScalesWithStages) {
+  // (2N-2) stages: the lossless bound grows linearly in N for fixed
+  // segment size (buffer scaled with N).
+  AllreduceParams base;
+  base.link = paper_link(0.0);
+  base.scheme = Scheme::kIdeal;
+  base.datacenters = 4;
+  base.buffer_bytes = 4ull << 20;
+  AllreduceParams big = base;
+  big.datacenters = 8;
+  big.buffer_bytes = 8ull << 20;  // same segment size
+  const double t4 = allreduce_expected_lower_bound_s(base);
+  const double t8 = allreduce_expected_lower_bound_s(big);
+  EXPECT_NEAR(t8 / t4, 14.0 / 6.0, 0.01);  // (2*8-2)/(2*4-2)
+}
+
+TEST(AllreduceModelTest, EcBeatsSrAtTailUnderLoss) {
+  // Fig 13: EC yields 3-6x p99.9 speedups over SR RTO in the lossy regime.
+  AllreduceParams params;
+  params.datacenters = 4;
+  params.buffer_bytes = 128ull << 20;
+  params.link = paper_link(1e-3);
+  params.scheme = Scheme::kSrRto;
+  const auto sr = allreduce_distribution(params, 400, 3);
+  params.scheme = Scheme::kEcMds;
+  const auto ec = allreduce_distribution(params, 400, 3);
+  EXPECT_GT(sr.p999 / ec.p999, 1.5);
+}
+
+TEST(TreeAllreduceModelTest, LowerBoundHolds) {
+  AllreduceParams params;
+  params.datacenters = 8;
+  params.buffer_bytes = 64ull << 20;
+  params.link = paper_link(1e-4);
+  params.scheme = Scheme::kSrRto;
+  const double bound = tree_allreduce_expected_lower_bound_s(params);
+  const auto dist = tree_allreduce_distribution(params, 300, 13);
+  EXPECT_GE(dist.mean, bound * 0.95);
+}
+
+TEST(TreeAllreduceModelTest, RoundCountIsTwiceCeilLog2) {
+  // Lossless + ideal scheme: completion = 2*ceil(log2 N) * (full-buffer
+  // injection + RTT).
+  AllreduceParams params;
+  params.datacenters = 8;
+  params.buffer_bytes = 16ull << 20;
+  params.link = paper_link(0.0);
+  params.scheme = Scheme::kIdeal;
+  Rng rng(3);
+  const std::uint64_t chunks =
+      params.buffer_bytes / params.link.chunk_bytes;
+  const double stage = ideal_completion_s(params.link, chunks);
+  EXPECT_NEAR(tree_allreduce_sample_s(rng, params), 6.0 * stage, 1e-9);
+}
+
+TEST(TreeAllreduceModelTest, RingBeatsTreeForLargeBuffers) {
+  // Bandwidth-optimal ring (segments of buffer/N) vs latency-optimal tree
+  // (full buffer per stage): once segment injection dominates the 25 ms
+  // RTT (segments of several GiB) the ring wins.
+  AllreduceParams params;
+  params.datacenters = 8;
+  params.buffer_bytes = 64ull << 30;
+  params.link = paper_link(1e-6);
+  params.scheme = Scheme::kSrRto;
+  const auto ring = allreduce_distribution(params, 200, 21);
+  const auto tree = tree_allreduce_distribution(params, 200, 21);
+  EXPECT_LT(ring.mean, tree.mean);
+}
+
+TEST(TreeAllreduceModelTest, TreeCompetitiveForSmallBuffers) {
+  // For latency-dominated (tiny) buffers the tree's 2*log2(N) stages beat
+  // the ring's 2N-2 RTT-bound stages.
+  AllreduceParams params;
+  params.datacenters = 16;
+  params.buffer_bytes = 16ull << 20;  // segments tiny vs BDP
+  params.link = paper_link(1e-6);
+  params.scheme = Scheme::kSrRto;
+  const auto ring = allreduce_distribution(params, 200, 22);
+  const auto tree = tree_allreduce_distribution(params, 200, 22);
+  EXPECT_LT(tree.mean, ring.mean);
+}
+
+TEST(AllreduceModelTest, SampleIsDeterministicPerSeed) {
+  AllreduceParams params;
+  params.link = paper_link(1e-3);
+  Rng a(5), b(5);
+  EXPECT_DOUBLE_EQ(allreduce_sample_s(a, params), allreduce_sample_s(b, params));
+}
+
+}  // namespace
+}  // namespace sdr::model

@@ -1,0 +1,108 @@
+// Tests for the 32-bit transport-immediate codec (paper §3.2.4): the
+// default 10+18+4 split, the alternative 8+22+2 split, and user-immediate
+// fragment sampling.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sdr/imm_codec.hpp"
+
+namespace sdr::core {
+namespace {
+
+TEST(ImmLayoutTest, DefaultSplitMatchesPaper) {
+  // 10 bits message ID -> 1024 in-flight descriptors; 18 bits offset ->
+  // 1 GiB messages at 4 KiB MTU (2^18 packets); 4 user bits.
+  EXPECT_TRUE(kDefaultImmLayout.valid());
+  EXPECT_EQ(kDefaultImmLayout.max_messages(), 1024u);
+  EXPECT_EQ(kDefaultImmLayout.max_packets() * 4096, 1ull << 30);
+  EXPECT_EQ(kDefaultImmLayout.user_fragments(), 8u);
+}
+
+TEST(ImmLayoutTest, AlternativeSplit) {
+  // 8+22+2: fewer in-flight messages, larger (16 GiB at 4 KiB) messages.
+  EXPECT_TRUE(kLargeMessageImmLayout.valid());
+  EXPECT_EQ(kLargeMessageImmLayout.max_messages(), 256u);
+  EXPECT_EQ(kLargeMessageImmLayout.max_packets() * 4096, 16ull << 30);
+  EXPECT_EQ(kLargeMessageImmLayout.user_fragments(), 16u);
+}
+
+TEST(ImmLayoutTest, InvalidSplitsRejected) {
+  EXPECT_FALSE((ImmLayout{10, 18, 5}.valid()));  // 33 bits
+  EXPECT_FALSE((ImmLayout{0, 28, 4}.valid()));
+  EXPECT_FALSE((ImmLayout{31, 0, 1}.valid()));
+}
+
+class ImmCodecParamTest : public ::testing::TestWithParam<ImmLayout> {};
+
+TEST_P(ImmCodecParamTest, EncodeDecodeRoundTrip) {
+  const ImmCodec codec(GetParam());
+  Rng rng(GetParam().msg_id_bits * 1000 + GetParam().offset_bits);
+  for (int i = 0; i < 50000; ++i) {
+    const auto msg = static_cast<std::uint32_t>(
+        rng.next_below(codec.layout().max_messages()));
+    const auto pkt = static_cast<std::uint32_t>(
+        rng.next_below(codec.layout().max_packets()));
+    const auto usr = static_cast<std::uint32_t>(
+        rng.next_below(1ull << codec.layout().user_bits));
+    const std::uint32_t imm = codec.encode(msg, pkt, usr);
+    const ImmFields f = codec.decode(imm);
+    ASSERT_EQ(f.msg_id, msg);
+    ASSERT_EQ(f.packet_index, pkt);
+    ASSERT_EQ(f.user_fragment, usr);
+  }
+}
+
+TEST_P(ImmCodecParamTest, FieldsDoNotOverlap) {
+  const ImmCodec codec(GetParam());
+  // Max values in every field simultaneously survive the round trip.
+  const std::uint32_t msg = codec.layout().max_messages() - 1;
+  const auto pkt =
+      static_cast<std::uint32_t>(codec.layout().max_packets() - 1);
+  const std::uint32_t usr = (1u << codec.layout().user_bits) - 1;
+  const ImmFields f = codec.decode(codec.encode(msg, pkt, usr));
+  EXPECT_EQ(f.msg_id, msg);
+  EXPECT_EQ(f.packet_index, pkt);
+  EXPECT_EQ(f.user_fragment, usr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, ImmCodecParamTest,
+                         ::testing::Values(kDefaultImmLayout,
+                                           kLargeMessageImmLayout,
+                                           ImmLayout{12, 16, 4},
+                                           ImmLayout{16, 16, 0}),
+                         [](const auto& info) {
+                           return "L" + std::to_string(info.param.msg_id_bits) +
+                                  "_" + std::to_string(info.param.offset_bits) +
+                                  "_" + std::to_string(info.param.user_bits);
+                         });
+
+TEST(ImmCodecTest, UserFragmentReassembly) {
+  const ImmCodec codec(kDefaultImmLayout);
+  const std::uint32_t user_imm = 0xDEADBEEF;
+  // Collect fragments from packets 0..7 and reassemble.
+  std::uint32_t rebuilt = 0;
+  for (std::uint32_t pkt = 0; pkt < 8; ++pkt) {
+    const std::uint32_t frag = codec.sample_user_fragment(user_imm, pkt);
+    rebuilt |= frag << (codec.fragment_slot(pkt) * 4);
+  }
+  EXPECT_EQ(rebuilt, user_imm);
+}
+
+TEST(ImmCodecTest, FragmentsCycleBeyondEight) {
+  const ImmCodec codec(kDefaultImmLayout);
+  const std::uint32_t user_imm = 0x12345678;
+  for (std::uint32_t pkt = 0; pkt < 64; ++pkt) {
+    EXPECT_EQ(codec.sample_user_fragment(user_imm, pkt),
+              codec.sample_user_fragment(user_imm, pkt % 8));
+    EXPECT_EQ(codec.fragment_slot(pkt), pkt % 8);
+  }
+}
+
+TEST(ImmCodecTest, ZeroUserBitsLayout) {
+  const ImmCodec codec(ImmLayout{16, 16, 0});
+  EXPECT_EQ(codec.layout().user_fragments(), 0u);
+  EXPECT_EQ(codec.sample_user_fragment(0xFFFFFFFF, 3), 0u);
+}
+
+}  // namespace
+}  // namespace sdr::core

@@ -1,0 +1,428 @@
+// Tests for the discrete-event simulator: event ordering, cancellation,
+// channel serialization/propagation timing, drop models.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/channel.hpp"
+#include "sim/cross_traffic.hpp"
+#include "sim/drop_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdr::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime{300}, [&] { order.push_back(3); });
+  sim.schedule(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule(SimTime{200}, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, 300);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule(SimTime{10}, [&] {
+    times.push_back(sim.now().ns);
+    sim.schedule(SimTime{5}, [&] { times.push_back(sim.now().ns); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(SimTime{10}, [&] { ++fired; });
+  sim.schedule(SimTime{20}, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime{10}, [&] { ++fired; });
+  sim.schedule(SimTime{20}, [&] { ++fired; });
+  sim.schedule(SimTime{30}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime{20}), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns, 20);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime{1}, [&] { ++fired; });
+  sim.schedule(SimTime{2}, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, ManyEventsStress) {
+  Simulator sim;
+  Rng rng(3);
+  std::uint64_t executed = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule(SimTime{static_cast<std::int64_t>(rng.next_below(1000000))},
+                 [&] { ++executed; });
+  }
+  sim.run();
+  EXPECT_EQ(executed, 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// Drop models
+// ---------------------------------------------------------------------------
+
+TEST(DropModelTest, IidDropRateConverges) {
+  IidDrop model(0.01);
+  Rng rng(5);
+  int drops = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) drops += model.should_drop(rng, 4096) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.01, 0.002);
+}
+
+TEST(DropModelTest, GilbertElliottStationaryLoss) {
+  GilbertElliott model(0.001, 0.1, 1e-5, 0.2);
+  Rng rng(7);
+  model.reset(rng);
+  int drops = 0;
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) drops += model.should_drop(rng, 4096) ? 1 : 0;
+  const double measured = static_cast<double>(drops) / n;
+  EXPECT_NEAR(measured, model.stationary_loss(), model.stationary_loss() * 0.3);
+}
+
+TEST(DropModelTest, GilbertElliottProducesBursts) {
+  // In the bad state losses cluster: the conditional probability of a drop
+  // immediately after a drop must exceed the marginal drop rate.
+  GilbertElliott model(0.001, 0.05, 0.0, 0.5);
+  Rng rng(11);
+  model.reset(rng);
+  int drops = 0, pairs = 0, after_drop = 0;
+  bool prev = false;
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) {
+    const bool d = model.should_drop(rng, 4096);
+    if (prev) {
+      ++pairs;
+      after_drop += d ? 1 : 0;
+    }
+    drops += d ? 1 : 0;
+    prev = d;
+  }
+  const double marginal = static_cast<double>(drops) / n;
+  const double conditional = static_cast<double>(after_drop) / pairs;
+  EXPECT_GT(conditional, 3.0 * marginal);
+}
+
+TEST(DropModelTest, CongestionDropSizeCorrelation) {
+  // Larger packets must observe higher drop probability (Fig 2 trend).
+  CongestionDrop model(CongestionDrop::Params{});
+  Rng rng(13);
+  model.reset(rng);
+  EXPECT_GT(model.drop_probability(8192), model.drop_probability(1024));
+}
+
+TEST(DropModelTest, CongestionDropTrialVariability) {
+  // Across trials the drop probability must span orders of magnitude
+  // (paper Fig 2: three decades for a fixed payload).
+  CongestionDrop model(CongestionDrop::Params{});
+  Rng rng(17);
+  double mn = 1.0, mx = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    model.reset(rng);
+    const double p = model.drop_probability(1024);
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  EXPECT_GT(mx / std::max(mn, 1e-12), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+Channel::Config test_channel_config() {
+  Channel::Config cfg;
+  cfg.bandwidth_bps = 100 * Gbps;
+  cfg.distance_km = 350.0;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(ChannelTest, SerializationPlusPropagationTiming) {
+  Simulator sim;
+  Channel ch(sim, test_channel_config(), std::make_unique<IidDrop>(0.0));
+  SimTime arrival{0};
+  ch.set_receiver([&](Packet&&) { arrival = sim.now(); });
+
+  Packet p;
+  p.bytes = 125000;  // 1 Mbit -> 10 us at 100 Gbit/s
+  ch.send(std::move(p));
+  sim.run();
+
+  const double expected =
+      injection_time_s(125000, 100 * Gbps) + propagation_delay_s(350.0);
+  EXPECT_NEAR(arrival.seconds(), expected, 1e-9);
+}
+
+TEST(ChannelTest, BackToBackPacketsQueueOnTheWire) {
+  Simulator sim;
+  Channel ch(sim, test_channel_config(), std::make_unique<IidDrop>(0.0));
+  std::vector<double> arrivals;
+  ch.set_receiver([&](Packet&&) { arrivals.push_back(sim.now().seconds()); });
+
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.bytes = 125000;
+    ch.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const double ser = injection_time_s(125000, 100 * Gbps);
+  EXPECT_NEAR(arrivals[1] - arrivals[0], ser, 1e-12);
+  EXPECT_NEAR(arrivals[2] - arrivals[1], ser, 1e-12);
+}
+
+TEST(ChannelTest, DropsMatchConfiguredRate) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.05));
+  int delivered = 0;
+  ch.set_receiver([&](Packet&&) { ++delivered; });
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    ch.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_NEAR(ch.stats().drop_rate(), 0.05, 0.005);
+  EXPECT_EQ(delivered + static_cast<int>(ch.stats().dropped_packets), n);
+  EXPECT_EQ(ch.stats().sent_packets, static_cast<std::uint64_t>(n));
+}
+
+TEST(ChannelTest, DroppedPacketsStillConsumeWireTime) {
+  // A dropped packet occupies the serializer: the wire stays busy exactly
+  // as if the drop had not happened ("the bits still occupied the wire").
+  Simulator sim;
+  Channel lossy(sim, test_channel_config(), std::make_unique<IidDrop>(1.0));
+  int delivered = 0;
+  lossy.set_receiver([&](Packet&&) { ++delivered; });
+  Packet p1;
+  p1.bytes = 125000;
+  lossy.send(std::move(p1));
+  EXPECT_NEAR(lossy.next_free().seconds(),
+              injection_time_s(125000, 100 * Gbps), 1e-12);
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(lossy.stats().dropped_packets, 1u);
+}
+
+TEST(ChannelTest, ReorderingAddsDelay) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  cfg.reorder_probability = 1.0;
+  cfg.reorder_extra_delay_s = 0.001;
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  SimTime arrival{0};
+  ch.set_receiver([&](Packet&&) { arrival = sim.now(); });
+  Packet p;
+  p.bytes = 1500;
+  ch.send(std::move(p));
+  sim.run();
+  const double base =
+      injection_time_s(1500, 100 * Gbps) + propagation_delay_s(350.0);
+  EXPECT_NEAR(arrival.seconds(), base + 0.001, 1e-9);
+  EXPECT_EQ(ch.stats().reordered_packets, 1u);
+}
+
+TEST(ChannelTest, DuplicationDeliversTwice) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  cfg.duplicate_probability = 1.0;
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  int deliveries = 0;
+  ch.set_receiver([&](Packet&&) { ++deliveries; });
+  Packet p;
+  p.bytes = 1000;
+  ch.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(ch.stats().duplicated_packets, 1u);
+  EXPECT_EQ(ch.stats().delivered_packets, 2u);
+}
+
+TEST(ChannelTest, DuplicationRateConverges) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  cfg.duplicate_probability = 0.1;
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  int deliveries = 0;
+  ch.set_receiver([&](Packet&&) { ++deliveries; });
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.bytes = 100;
+    ch.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(deliveries) / n, 1.1, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Queue-based congestion (tail drop) + cross traffic
+// ---------------------------------------------------------------------------
+
+TEST(QueueTest, NoDropsUnderCapacity) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  cfg.queue_capacity_bytes = 1 << 20;
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  int delivered = 0;
+  ch.set_receiver([&](Packet&&) { ++delivered; });
+  // 100 x 1 KiB back to back: backlog peaks at ~100 KiB < 1 MiB capacity.
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    p.bytes = 1024;
+    ch.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(ch.stats().queue_drops, 0u);
+}
+
+TEST(QueueTest, TailDropWhenSaturated) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  cfg.queue_capacity_bytes = 16 * 1024;
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  int delivered = 0;
+  ch.set_receiver([&](Packet&&) { ++delivered; });
+  // Burst of 64 KiB into a 16 KiB buffer: most of it tail-drops.
+  for (int i = 0; i < 64; ++i) {
+    Packet p;
+    p.bytes = 1024;
+    ch.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_GT(ch.stats().queue_drops, 40u);
+  EXPECT_LT(delivered, 20);
+  EXPECT_EQ(ch.stats().queue_drops + delivered, 64u);
+}
+
+TEST(QueueTest, BacklogReportsAndDrains) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+  ch.set_receiver([](Packet&&) {});
+  Packet p;
+  p.bytes = 125000;  // 10 us at 100G
+  ch.send(std::move(p));
+  EXPECT_NEAR(static_cast<double>(ch.queue_backlog_bytes()), 125000.0,
+              125000.0 * 0.01);
+  sim.run();
+  EXPECT_EQ(ch.queue_backlog_bytes(), 0u);
+}
+
+TEST(CrossTrafficTest, CongestionDropsGrowWithPacketSize) {
+  // The Fig 2 mechanism: under bursty cross traffic and a bounded buffer,
+  // larger foreground packets see higher loss.
+  auto loss_for = [&](std::size_t fg_bytes) {
+    Simulator sim;
+    Channel::Config cfg;
+    cfg.bandwidth_bps = 100 * Gbps;
+    cfg.distance_km = 350.0;
+    cfg.queue_capacity_bytes = 64 * 1024;
+    cfg.seed = 2;
+    Channel ch(sim, cfg, std::make_unique<IidDrop>(0.0));
+    ch.set_receiver([](Packet&&) {});
+    CrossTraffic::Params params;
+    params.burst_load = 0.98;
+    params.packet_bytes = 8192;
+    CrossTraffic bg(sim, ch, params);
+    bg.start(SimTime::from_millis(50));
+
+    // Foreground: one packet every 5 us.
+    const int fg_packets = 5000;
+    std::uint64_t fg_drops = 0;
+    for (int i = 0; i < fg_packets; ++i) {
+      sim.schedule_at(SimTime::from_micros(5.0 * i), [&, fg_bytes] {
+        const std::uint64_t before = ch.stats().queue_drops;
+        Packet p;
+        p.bytes = fg_bytes;
+        ch.send(std::move(p));
+        fg_drops += ch.stats().queue_drops - before;
+      });
+    }
+    sim.run();
+    return static_cast<double>(fg_drops) / fg_packets;
+  };
+
+  const double small_loss = loss_for(1024);
+  const double big_loss = loss_for(8192);
+  EXPECT_GT(big_loss, small_loss) << "larger packets must drop more";
+  EXPECT_GT(big_loss, 0.0);
+}
+
+TEST(DuplexLinkTest, RttIsTwicePropagation) {
+  Simulator sim;
+  auto link = make_iid_link(sim, test_channel_config(), 0.0, 0.0);
+  EXPECT_NEAR(link->rtt_s(), 2.0 * propagation_delay_s(350.0), 1e-12);
+}
+
+TEST(DuplexLinkTest, IndependentDirections) {
+  Simulator sim;
+  Channel::Config cfg = test_channel_config();
+  auto link = std::make_unique<DuplexLink>(
+      sim, cfg, std::make_unique<IidDrop>(1.0), std::make_unique<IidDrop>(0.0));
+  int fwd = 0, bwd = 0;
+  link->forward().set_receiver([&](Packet&&) { ++fwd; });
+  link->backward().set_receiver([&](Packet&&) { ++bwd; });
+  for (int i = 0; i < 100; ++i) {
+    Packet a;
+    a.bytes = 100;
+    link->forward().send(std::move(a));
+    Packet b;
+    b.bytes = 100;
+    link->backward().send(std::move(b));
+  }
+  sim.run();
+  EXPECT_EQ(fwd, 0);
+  EXPECT_EQ(bwd, 100);
+}
+
+}  // namespace
+}  // namespace sdr::sim
