@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_rto.dir/bench_ablation_adaptive_rto.cpp.o"
+  "CMakeFiles/bench_ablation_adaptive_rto.dir/bench_ablation_adaptive_rto.cpp.o.d"
+  "bench_ablation_adaptive_rto"
+  "bench_ablation_adaptive_rto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_rto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_droprate.dir/bench_fig02_droprate.cpp.o"
+  "CMakeFiles/bench_fig02_droprate.dir/bench_fig02_droprate.cpp.o.d"
+  "bench_fig02_droprate"
+  "bench_fig02_droprate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_droprate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

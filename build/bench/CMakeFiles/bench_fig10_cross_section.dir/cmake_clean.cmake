@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cross_section.dir/bench_fig10_cross_section.cpp.o"
+  "CMakeFiles/bench_fig10_cross_section.dir/bench_fig10_cross_section.cpp.o.d"
+  "bench_fig10_cross_section"
+  "bench_fig10_cross_section.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cross_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

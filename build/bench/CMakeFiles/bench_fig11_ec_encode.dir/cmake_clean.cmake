@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ec_encode.dir/bench_fig11_ec_encode.cpp.o"
+  "CMakeFiles/bench_fig11_ec_encode.dir/bench_fig11_ec_encode.cpp.o.d"
+  "bench_fig11_ec_encode"
+  "bench_fig11_ec_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ec_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

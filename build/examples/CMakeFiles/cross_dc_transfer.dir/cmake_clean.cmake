@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_dc_transfer.dir/cross_dc_transfer.cpp.o"
+  "CMakeFiles/cross_dc_transfer.dir/cross_dc_transfer.cpp.o.d"
+  "cross_dc_transfer"
+  "cross_dc_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_dc_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

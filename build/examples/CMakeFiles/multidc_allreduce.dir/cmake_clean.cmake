@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidc_allreduce.dir/multidc_allreduce.cpp.o"
+  "CMakeFiles/multidc_allreduce.dir/multidc_allreduce.cpp.o.d"
+  "multidc_allreduce"
+  "multidc_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidc_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/per_connection_tuning.cpp" "examples/CMakeFiles/per_connection_tuning.dir/per_connection_tuning.cpp.o" "gcc" "examples/CMakeFiles/per_connection_tuning.dir/per_connection_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collectives/CMakeFiles/sdr_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/sdr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sdr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpa/CMakeFiles/sdr_dpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/sdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sdr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/sdr_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_connection_tuning.dir/per_connection_tuning.cpp.o"
+  "CMakeFiles/per_connection_tuning.dir/per_connection_tuning.cpp.o.d"
+  "per_connection_tuning"
+  "per_connection_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_connection_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_write_bw.dir/sdr_write_bw.cpp.o"
+  "CMakeFiles/sdr_write_bw.dir/sdr_write_bw.cpp.o.d"
+  "sdr_write_bw"
+  "sdr_write_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_write_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

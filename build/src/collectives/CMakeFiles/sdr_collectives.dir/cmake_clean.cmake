@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_collectives.dir/broadcast.cpp.o"
+  "CMakeFiles/sdr_collectives.dir/broadcast.cpp.o.d"
+  "CMakeFiles/sdr_collectives.dir/ring_allreduce.cpp.o"
+  "CMakeFiles/sdr_collectives.dir/ring_allreduce.cpp.o.d"
+  "libsdr_collectives.a"
+  "libsdr_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_common.dir/bitmap.cpp.o"
+  "CMakeFiles/sdr_common.dir/bitmap.cpp.o.d"
+  "CMakeFiles/sdr_common.dir/histogram.cpp.o"
+  "CMakeFiles/sdr_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/sdr_common.dir/logging.cpp.o"
+  "CMakeFiles/sdr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sdr_common.dir/table.cpp.o"
+  "CMakeFiles/sdr_common.dir/table.cpp.o.d"
+  "CMakeFiles/sdr_common.dir/units.cpp.o"
+  "CMakeFiles/sdr_common.dir/units.cpp.o.d"
+  "libsdr_common.a"
+  "libsdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_dpa.dir/calibrate.cpp.o"
+  "CMakeFiles/sdr_dpa.dir/calibrate.cpp.o.d"
+  "CMakeFiles/sdr_dpa.dir/engine.cpp.o"
+  "CMakeFiles/sdr_dpa.dir/engine.cpp.o.d"
+  "libsdr_dpa.a"
+  "libsdr_dpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/gf256.cpp" "src/ec/CMakeFiles/sdr_ec.dir/gf256.cpp.o" "gcc" "src/ec/CMakeFiles/sdr_ec.dir/gf256.cpp.o.d"
+  "/root/repo/src/ec/matrix.cpp" "src/ec/CMakeFiles/sdr_ec.dir/matrix.cpp.o" "gcc" "src/ec/CMakeFiles/sdr_ec.dir/matrix.cpp.o.d"
+  "/root/repo/src/ec/probability.cpp" "src/ec/CMakeFiles/sdr_ec.dir/probability.cpp.o" "gcc" "src/ec/CMakeFiles/sdr_ec.dir/probability.cpp.o.d"
+  "/root/repo/src/ec/reed_solomon.cpp" "src/ec/CMakeFiles/sdr_ec.dir/reed_solomon.cpp.o" "gcc" "src/ec/CMakeFiles/sdr_ec.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/ec/xor_code.cpp" "src/ec/CMakeFiles/sdr_ec.dir/xor_code.cpp.o" "gcc" "src/ec/CMakeFiles/sdr_ec.dir/xor_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

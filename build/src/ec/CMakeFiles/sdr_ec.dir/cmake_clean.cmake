@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_ec.dir/gf256.cpp.o"
+  "CMakeFiles/sdr_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/sdr_ec.dir/matrix.cpp.o"
+  "CMakeFiles/sdr_ec.dir/matrix.cpp.o.d"
+  "CMakeFiles/sdr_ec.dir/probability.cpp.o"
+  "CMakeFiles/sdr_ec.dir/probability.cpp.o.d"
+  "CMakeFiles/sdr_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/sdr_ec.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/sdr_ec.dir/xor_code.cpp.o"
+  "CMakeFiles/sdr_ec.dir/xor_code.cpp.o.d"
+  "libsdr_ec.a"
+  "libsdr_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

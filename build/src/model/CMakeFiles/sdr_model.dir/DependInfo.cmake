@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/allreduce_model.cpp" "src/model/CMakeFiles/sdr_model.dir/allreduce_model.cpp.o" "gcc" "src/model/CMakeFiles/sdr_model.dir/allreduce_model.cpp.o.d"
+  "/root/repo/src/model/ec_model.cpp" "src/model/CMakeFiles/sdr_model.dir/ec_model.cpp.o" "gcc" "src/model/CMakeFiles/sdr_model.dir/ec_model.cpp.o.d"
+  "/root/repo/src/model/protocols.cpp" "src/model/CMakeFiles/sdr_model.dir/protocols.cpp.o" "gcc" "src/model/CMakeFiles/sdr_model.dir/protocols.cpp.o.d"
+  "/root/repo/src/model/sr_model.cpp" "src/model/CMakeFiles/sdr_model.dir/sr_model.cpp.o" "gcc" "src/model/CMakeFiles/sdr_model.dir/sr_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/sdr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

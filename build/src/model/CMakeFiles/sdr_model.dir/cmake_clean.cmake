@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_model.dir/allreduce_model.cpp.o"
+  "CMakeFiles/sdr_model.dir/allreduce_model.cpp.o.d"
+  "CMakeFiles/sdr_model.dir/ec_model.cpp.o"
+  "CMakeFiles/sdr_model.dir/ec_model.cpp.o.d"
+  "CMakeFiles/sdr_model.dir/protocols.cpp.o"
+  "CMakeFiles/sdr_model.dir/protocols.cpp.o.d"
+  "CMakeFiles/sdr_model.dir/sr_model.cpp.o"
+  "CMakeFiles/sdr_model.dir/sr_model.cpp.o.d"
+  "libsdr_model.a"
+  "libsdr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

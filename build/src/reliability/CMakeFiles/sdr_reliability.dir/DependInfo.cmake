@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/ack_codec.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/ack_codec.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/ack_codec.cpp.o.d"
+  "/root/repo/src/reliability/control_link.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/control_link.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/control_link.cpp.o.d"
+  "/root/repo/src/reliability/ec_protocol.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/ec_protocol.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/ec_protocol.cpp.o.d"
+  "/root/repo/src/reliability/reliable_channel.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/reliable_channel.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/reliable_channel.cpp.o.d"
+  "/root/repo/src/reliability/sr_protocol.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/sr_protocol.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/sr_protocol.cpp.o.d"
+  "/root/repo/src/reliability/tuner.cpp" "src/reliability/CMakeFiles/sdr_reliability.dir/tuner.cpp.o" "gcc" "src/reliability/CMakeFiles/sdr_reliability.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdr/CMakeFiles/sdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/sdr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sdr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/sdr_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_reliability.dir/ack_codec.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/ack_codec.cpp.o.d"
+  "CMakeFiles/sdr_reliability.dir/control_link.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/control_link.cpp.o.d"
+  "CMakeFiles/sdr_reliability.dir/ec_protocol.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/ec_protocol.cpp.o.d"
+  "CMakeFiles/sdr_reliability.dir/reliable_channel.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/reliable_channel.cpp.o.d"
+  "CMakeFiles/sdr_reliability.dir/sr_protocol.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/sr_protocol.cpp.o.d"
+  "CMakeFiles/sdr_reliability.dir/tuner.cpp.o"
+  "CMakeFiles/sdr_reliability.dir/tuner.cpp.o.d"
+  "libsdr_reliability.a"
+  "libsdr_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

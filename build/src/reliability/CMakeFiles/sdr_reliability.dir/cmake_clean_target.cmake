@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdr_reliability.a"
+)

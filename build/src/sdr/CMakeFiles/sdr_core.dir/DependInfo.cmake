@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdr/message_table.cpp" "src/sdr/CMakeFiles/sdr_core.dir/message_table.cpp.o" "gcc" "src/sdr/CMakeFiles/sdr_core.dir/message_table.cpp.o.d"
+  "/root/repo/src/sdr/sdr.cpp" "src/sdr/CMakeFiles/sdr_core.dir/sdr.cpp.o" "gcc" "src/sdr/CMakeFiles/sdr_core.dir/sdr.cpp.o.d"
+  "/root/repo/src/sdr/sdr_c.cpp" "src/sdr/CMakeFiles/sdr_core.dir/sdr_c.cpp.o" "gcc" "src/sdr/CMakeFiles/sdr_core.dir/sdr_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verbs/CMakeFiles/sdr_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

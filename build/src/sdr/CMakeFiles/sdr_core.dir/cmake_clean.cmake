@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_core.dir/message_table.cpp.o"
+  "CMakeFiles/sdr_core.dir/message_table.cpp.o.d"
+  "CMakeFiles/sdr_core.dir/sdr.cpp.o"
+  "CMakeFiles/sdr_core.dir/sdr.cpp.o.d"
+  "CMakeFiles/sdr_core.dir/sdr_c.cpp.o"
+  "CMakeFiles/sdr_core.dir/sdr_c.cpp.o.d"
+  "libsdr_core.a"
+  "libsdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_sim.dir/channel.cpp.o"
+  "CMakeFiles/sdr_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/sdr_sim.dir/drop_model.cpp.o"
+  "CMakeFiles/sdr_sim.dir/drop_model.cpp.o.d"
+  "CMakeFiles/sdr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdr_sim.dir/simulator.cpp.o.d"
+  "libsdr_sim.a"
+  "libsdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

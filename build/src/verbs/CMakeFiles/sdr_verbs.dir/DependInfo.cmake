@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verbs/cq.cpp" "src/verbs/CMakeFiles/sdr_verbs.dir/cq.cpp.o" "gcc" "src/verbs/CMakeFiles/sdr_verbs.dir/cq.cpp.o.d"
+  "/root/repo/src/verbs/fabric.cpp" "src/verbs/CMakeFiles/sdr_verbs.dir/fabric.cpp.o" "gcc" "src/verbs/CMakeFiles/sdr_verbs.dir/fabric.cpp.o.d"
+  "/root/repo/src/verbs/mr.cpp" "src/verbs/CMakeFiles/sdr_verbs.dir/mr.cpp.o" "gcc" "src/verbs/CMakeFiles/sdr_verbs.dir/mr.cpp.o.d"
+  "/root/repo/src/verbs/nic.cpp" "src/verbs/CMakeFiles/sdr_verbs.dir/nic.cpp.o" "gcc" "src/verbs/CMakeFiles/sdr_verbs.dir/nic.cpp.o.d"
+  "/root/repo/src/verbs/qp.cpp" "src/verbs/CMakeFiles/sdr_verbs.dir/qp.cpp.o" "gcc" "src/verbs/CMakeFiles/sdr_verbs.dir/qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_verbs.dir/cq.cpp.o"
+  "CMakeFiles/sdr_verbs.dir/cq.cpp.o.d"
+  "CMakeFiles/sdr_verbs.dir/fabric.cpp.o"
+  "CMakeFiles/sdr_verbs.dir/fabric.cpp.o.d"
+  "CMakeFiles/sdr_verbs.dir/mr.cpp.o"
+  "CMakeFiles/sdr_verbs.dir/mr.cpp.o.d"
+  "CMakeFiles/sdr_verbs.dir/nic.cpp.o"
+  "CMakeFiles/sdr_verbs.dir/nic.cpp.o.d"
+  "CMakeFiles/sdr_verbs.dir/qp.cpp.o"
+  "CMakeFiles/sdr_verbs.dir/qp.cpp.o.d"
+  "libsdr_verbs.a"
+  "libsdr_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

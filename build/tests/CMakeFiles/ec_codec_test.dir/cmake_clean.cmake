@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_codec_test.dir/ec_codec_test.cpp.o"
+  "CMakeFiles/ec_codec_test.dir/ec_codec_test.cpp.o.d"
+  "ec_codec_test"
+  "ec_codec_test.pdb"
+  "ec_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

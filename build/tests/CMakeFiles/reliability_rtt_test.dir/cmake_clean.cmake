@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_rtt_test.dir/reliability_rtt_test.cpp.o"
+  "CMakeFiles/reliability_rtt_test.dir/reliability_rtt_test.cpp.o.d"
+  "reliability_rtt_test"
+  "reliability_rtt_test.pdb"
+  "reliability_rtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

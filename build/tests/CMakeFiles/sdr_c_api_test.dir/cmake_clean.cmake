@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_c_api_test.dir/sdr_c_api_test.cpp.o"
+  "CMakeFiles/sdr_c_api_test.dir/sdr_c_api_test.cpp.o.d"
+  "sdr_c_api_test"
+  "sdr_c_api_test.pdb"
+  "sdr_c_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_c_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

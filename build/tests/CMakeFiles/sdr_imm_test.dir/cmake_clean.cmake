@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_imm_test.dir/sdr_imm_test.cpp.o"
+  "CMakeFiles/sdr_imm_test.dir/sdr_imm_test.cpp.o.d"
+  "sdr_imm_test"
+  "sdr_imm_test.pdb"
+  "sdr_imm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_imm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_qp_test.dir/sdr_qp_test.cpp.o"
+  "CMakeFiles/sdr_qp_test.dir/sdr_qp_test.cpp.o.d"
+  "sdr_qp_test"
+  "sdr_qp_test.pdb"
+  "sdr_qp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_table_test.dir/sdr_table_test.cpp.o"
+  "CMakeFiles/sdr_table_test.dir/sdr_table_test.cpp.o.d"
+  "sdr_table_test"
+  "sdr_table_test.pdb"
+  "sdr_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
