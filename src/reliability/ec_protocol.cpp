@@ -132,7 +132,7 @@ void EcSender::enter_fallback(MsgState& msg, std::uint64_t base,
     if (sub >= msg.submessages || msg.sub_done[sub]) continue;
     if (!msg.timers[sub].empty()) continue;  // already in fallback
     msg.acked[sub].resize(config_.k);
-    msg.timers[sub].assign(config_.k, 0);
+    msg.timers[sub].assign(config_.k, sim::EventId{});
     ++msg.subs_pending_fallback;
     for (std::size_t c = 0; c < config_.k; ++c) {
       fallback_send(msg, base, sub, c, /*retransmission=*/true);
@@ -183,9 +183,9 @@ void EcSender::apply_fallback_ack(MsgState& msg, std::uint64_t base,
   auto mark = [&](std::size_t c) {
     if (msg.acked[sub].test(c)) return;
     msg.acked[sub].set(c);
-    if (msg.timers[sub][c] != 0) {
+    if (msg.timers[sub][c].valid()) {
       sim_.cancel(msg.timers[sub][c]);
-      msg.timers[sub][c] = 0;
+      msg.timers[sub][c] = {};
     }
   };
   for (std::size_t c = 0; c < cumulative; ++c) mark(c);
@@ -211,7 +211,7 @@ void EcSender::finish(std::uint64_t base) {
   messages_.erase(it);
   for (std::size_t s = 0; s < msg.submessages; ++s) {
     for (sim::EventId id : msg.timers[s]) {
-      if (id != 0) sim_.cancel(id);
+      if (id.valid()) sim_.cancel(id);
     }
     sub_to_base_.erase(msg.data_handles[s]->msg_number());
     qp_.send_stream_end(msg.data_handles[s]);
@@ -305,8 +305,8 @@ Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
         if (it == messages_.end() || it->second.complete) return;
         MsgState& m = it->second;
         m.complete = true;
-        if (m.fto_timer != 0) sim_.cancel(m.fto_timer);
-        if (m.ack_timer != 0) sim_.cancel(m.ack_timer);
+        if (m.fto_timer.valid()) sim_.cancel(m.fto_timer);
+        if (m.ack_timer.valid()) sim_.cancel(m.ack_timer);
         for (auto* h : m.data_handles) qp_.recv_complete(h);
         for (auto* h : m.parity_handles) qp_.recv_complete(h);
         DoneFn cb = std::move(m.done);
@@ -479,9 +479,9 @@ void EcReceiver::send_fallback_acks(MsgState& msg, std::uint64_t base) {
 
 void EcReceiver::complete(MsgState& msg, std::uint64_t base) {
   msg.complete = true;
-  if (msg.fto_timer != 0) sim_.cancel(msg.fto_timer);
-  if (msg.global_timer != 0) sim_.cancel(msg.global_timer);
-  if (msg.ack_timer != 0) sim_.cancel(msg.ack_timer);
+  if (msg.fto_timer.valid()) sim_.cancel(msg.fto_timer);
+  if (msg.global_timer.valid()) sim_.cancel(msg.global_timer);
+  if (msg.ack_timer.valid()) sim_.cancel(msg.ack_timer);
 
   ControlMessage ack;
   ack.type = ControlType::kEcAck;
@@ -489,10 +489,14 @@ void EcReceiver::complete(MsgState& msg, std::uint64_t base) {
   const auto wire = encode_control(ack);
   control_.send(wire.data(), wire.size());
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
+    // Init-capture: `wire` is const, and a const member would degrade the
+    // event's relocation to a copy (InlineFunction requires nothrow moves).
     sim_.schedule(
         SimTime::from_seconds(config_.fallback_ack_interval_s *
                               static_cast<double>(r)),
-        [this, wire] { control_.send(wire.data(), wire.size()); });
+        [this, ack_wire = wire] {
+          control_.send(ack_wire.data(), ack_wire.size());
+        });
   }
 
   for (auto* h : msg.data_handles) {

@@ -149,9 +149,9 @@ class EcReceiver {
     bool fto_armed{false};
     bool fallback{false};
     bool complete{false};
-    sim::EventId fto_timer{0};
-    sim::EventId global_timer{0};
-    sim::EventId ack_timer{0};
+    sim::EventId fto_timer{};
+    sim::EventId global_timer{};
+    sim::EventId ack_timer{};
     DoneFn done;
   };
 

@@ -199,7 +199,7 @@ void ReliableChannel::on_src_control(const std::uint8_t* data,
   if (parsed && parsed->type == ControlType::kEagerAck) {
     const auto it = eager_sends_.find(parsed->msg_number);
     if (it != eager_sends_.end()) {
-      if (it->second.timer != 0) sim_.cancel(it->second.timer);
+      if (it->second.timer.valid()) sim_.cancel(it->second.timer);
       DoneFn done = std::move(it->second.done);
       eager_sends_.erase(it);
       if (done) done(Status::ok());

@@ -85,7 +85,7 @@ class ReliableChannel {
   struct EagerSend {
     std::vector<std::uint8_t> payload;
     DoneFn done;
-    sim::EventId timer{0};
+    sim::EventId timer{};
     int attempts{0};
   };
   struct EagerRecv {

@@ -52,7 +52,7 @@ Status SrSender::write(const std::uint8_t* data, std::size_t length,
   msg.length = length;
   msg.chunks = (length + chunk_bytes_ - 1) / chunk_bytes_;
   msg.acked.resize(msg.chunks);
-  msg.timers.assign(msg.chunks, 0);
+  msg.timers.assign(msg.chunks, sim::EventId{});
   msg.sent_at_s.assign(msg.chunks, -1.0);
   msg.retries.assign(msg.chunks, 0);
   msg.retransmitted.resize(msg.chunks);
@@ -72,7 +72,7 @@ void SrSender::arm_all_timers(std::uint64_t msg_number) {
   MsgState& msg = it->second;
   msg.cts_at_s = sim_.now().seconds();
   for (std::size_t c = 0; c < msg.chunks; ++c) {
-    if (!msg.acked.test(c) && msg.timers[c] == 0) arm_timer(msg_number, c);
+    if (!msg.acked.test(c) && !msg.timers[c].valid()) arm_timer(msg_number, c);
   }
 }
 
@@ -135,7 +135,7 @@ void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
       MsgState& state = it->second;
       for (std::uint32_t chunk : msg.indices) {
         if (chunk >= state.chunks || state.acked.test(chunk)) continue;
-        if (state.timers[chunk] != 0) sim_.cancel(state.timers[chunk]);
+        if (state.timers[chunk].valid()) sim_.cancel(state.timers[chunk]);
         send_chunk(state, chunk, /*retransmission=*/true);
         arm_timer(msg.msg_number, chunk);
       }
@@ -172,9 +172,9 @@ void SrSender::mark_acked(MsgState& msg, std::size_t chunk) {
   if (msg.acked.test(chunk)) return;
   msg.acked.set(chunk);
   ++msg.acked_count;
-  if (msg.timers[chunk] != 0) {
+  if (msg.timers[chunk].valid()) {
     sim_.cancel(msg.timers[chunk]);
-    msg.timers[chunk] = 0;
+    msg.timers[chunk] = {};
   }
   if (config_.adaptive_rto && !msg.retransmitted.test(chunk) &&
       msg.sent_at_s[chunk] >= 0.0) {
@@ -317,10 +317,12 @@ void SrReceiver::complete(MsgState& msg, std::uint64_t msg_number) {
   control_.send(wire.data(), wire.size());
   ++stats_.acks_sent;
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
+    // Init-capture: `wire` is const, and a const member would degrade the
+    // event's relocation to a copy (InlineFunction requires nothrow moves).
     sim_.schedule(SimTime::from_seconds(config_.ack_interval_s *
                                         static_cast<double>(r)),
-                  [this, wire] {
-                    control_.send(wire.data(), wire.size());
+                  [this, ack_wire = wire] {
+                    control_.send(ack_wire.data(), ack_wire.size());
                     ++stats_.acks_sent;
                   });
   }

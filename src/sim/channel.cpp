@@ -62,20 +62,53 @@ void Channel::send(Packet packet) {
       config_.duplicate_probability > 0.0 &&
       rng_.bernoulli(config_.duplicate_probability);
 
-  // Capture by shared_ptr to keep Packet move-only friendly in std::function.
-  auto carried = std::make_shared<Packet>(std::move(packet));
+  const std::uint32_t slot = acquire_slot(std::move(packet));
   if (duplicate) {
     ++stats_.duplicated_packets;
-    auto copy = std::make_shared<Packet>(*carried);
-    sim_.schedule_at(arrival + propagation_, [this, copy]() mutable {
-      ++stats_.delivered_packets;
-      if (deliver_) deliver_(std::move(*copy));
-    });
+    const std::uint32_t copy = acquire_slot_copy(slot);
+    sim_.schedule_at(arrival + propagation_,
+                     [this, copy] { deliver_slot(copy); });
   }
-  sim_.schedule_at(arrival, [this, carried]() mutable {
-    ++stats_.delivered_packets;
-    if (deliver_) deliver_(std::move(*carried));
-  });
+  sim_.schedule_at(arrival, [this, slot] { deliver_slot(slot); });
+}
+
+std::uint32_t Channel::acquire_slot(Packet&& packet) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  pool_[slot].pkt = std::move(packet);
+  return slot;
+}
+
+std::uint32_t Channel::acquire_slot_copy(std::uint32_t from) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  // Index after both slots are resolved: the emplace_back above may have
+  // reallocated the pool, so no reference to `from` can be held across it.
+  pool_[slot].pkt = pool_[from].pkt;
+  return slot;
+}
+
+void Channel::deliver_slot(std::uint32_t slot) {
+  ++stats_.delivered_packets;
+  // Move the packet out and free the slot *before* invoking the receiver:
+  // the callback may send on this channel again (protocol loops), which
+  // can grow the pool and would invalidate any reference into it.
+  Packet packet = std::move(pool_[slot].pkt);
+  pool_[slot].next_free = free_head_;
+  free_head_ = slot;
+  if (deliver_) deliver_(std::move(packet));
 }
 
 DuplexLink::DuplexLink(Simulator& simulator, Channel::Config config,

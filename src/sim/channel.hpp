@@ -8,24 +8,19 @@
 // paper's T_INJ / RTT notation assumes.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "sim/drop_model.hpp"
+#include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
 namespace sdr::sim {
-
-struct Packet {
-  std::uint64_t id{0};     // channel-assigned sequence (debug/tracing)
-  std::size_t bytes{0};    // on-wire size including headers
-  std::any payload;        // upper-layer content (e.g. verbs::WirePacket)
-};
 
 struct ChannelStats {
   std::uint64_t sent_packets{0};
@@ -94,7 +89,26 @@ class Channel {
 
   Rng& rng() { return rng_; }
 
+  /// In-flight packet pool size — bounded by the peak number of packets on
+  /// the wire, not by traffic volume. Exposed for regression tests.
+  std::size_t pool_size() const { return pool_.size(); }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  // Free-list pool of in-flight packets: send() parks the packet in a slot
+  // and schedules an inline {this, slot} delivery closure, so the steady
+  // state allocates nothing per packet (the seed design paid a
+  // make_shared plus a std::function heap spill each).
+  struct PoolSlot {
+    Packet pkt;
+    std::uint32_t next_free{kNoSlot};
+  };
+
+  std::uint32_t acquire_slot(Packet&& packet);
+  std::uint32_t acquire_slot_copy(std::uint32_t from);
+  void deliver_slot(std::uint32_t slot);
+
   Simulator& sim_;
   Config config_;
   std::unique_ptr<DropModel> drop_model_;
@@ -104,6 +118,8 @@ class Channel {
   SimTime next_free_{SimTime::zero()};
   ChannelStats stats_;
   std::uint64_t next_packet_id_{0};
+  std::vector<PoolSlot> pool_;
+  std::uint32_t free_head_{kNoSlot};
 };
 
 /// A bidirectional link: two independent channels sharing a configuration

@@ -1,0 +1,107 @@
+// Fixed-capacity, non-allocating callable wrapper for the event hot path.
+//
+// std::function heap-spills any capture larger than its small-buffer
+// optimization (16 bytes on libstdc++), which put one malloc/free pair on
+// every scheduled packet event. InlineFunction stores the callable in a
+// fixed inline buffer and *rejects larger captures at compile time*: a
+// capture that does not fit is a build error, not a silent allocation.
+// Handlers that need more state capture a pointer or pool index instead.
+//
+// Move-only by design — the simulator moves events, never copies them.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sdr::sim {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT: implicit by design, mirrors std::function
+    static_assert(sizeof(D) <= Capacity,
+                  "callable capture exceeds the inline storage budget; "
+                  "capture a pointer or pool index instead of the object");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-movable (events relocate)");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    ops_ = &kOps<D>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static R invoke_impl(void* s, Args&&... args) {
+    return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void relocate_impl(void* from, void* to) noexcept {
+    D* src = static_cast<D*>(from);
+    ::new (to) D(std::move(*src));
+    src->~D();
+  }
+  template <typename D>
+  static void destroy_impl(void* s) noexcept {
+    static_cast<D*>(s)->~D();
+  }
+
+  template <typename D>
+  static constexpr Ops kOps{&invoke_impl<D>, &relocate_impl<D>,
+                            &destroy_impl<D>};
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace sdr::sim

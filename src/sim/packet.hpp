@@ -1,0 +1,40 @@
+// Typed packet payloads for the simulated wire.
+//
+// The seed design carried upper-layer content as std::any, which heap-boxes
+// anything bigger than a pointer and needs an RTTI-backed any_cast on every
+// delivery. The payload universe of this simulator is closed — the verbs
+// device's WirePacket, or an opaque test/benchmark payload — so a variant
+// gives the same flexibility with inline storage and a branch-free
+// std::get_if on the receive side.
+//
+// Layering: verbs/types.hpp is a header-only leaf (it includes nothing from
+// sim/), so including it here introduces no dependency cycle; the sdr_sim
+// library still links independently of sdr_verbs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+
+#include "verbs/types.hpp"
+
+namespace sdr::sim {
+
+/// Opaque payload for tests and microbenchmarks that exercise the channel
+/// without modeling the verbs stack.
+struct TestPayload {
+  std::uint64_t tag{0};
+};
+
+/// monostate = headerless filler traffic (cross-traffic generators and
+/// link-level tests populate only Packet::bytes).
+using PacketPayload =
+    std::variant<std::monostate, verbs::WirePacket, TestPayload>;
+
+struct Packet {
+  std::uint64_t id{0};   // channel-assigned sequence (debug/tracing)
+  std::size_t bytes{0};  // on-wire size including headers
+  PacketPayload payload;
+};
+
+}  // namespace sdr::sim

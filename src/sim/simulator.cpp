@@ -6,46 +6,66 @@ namespace sdr::sim {
 
 EventId Simulator::schedule_at(SimTime when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  if (cancelled_.size() <= id) cancelled_.resize(id + 64, false);
-  queue_.push(Event{when, id, std::move(fn)});
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  queue_.push(QueueEntry{when, next_seq_++, slot, s.gen});
   ++live_events_;
-  return id;
+  return EventId{slot, s.gen};
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (id < cancelled_.size() && cancelled_[id]) return false;
-  if (cancelled_.size() <= id) cancelled_.resize(id + 64, false);
-  cancelled_[id] = true;
-  // live_events_ intentionally not decremented here: the event object is
-  // still queued. pop_next() adjusts when it sweeps the tombstone.
+  if (!id.valid()) return false;
+  const std::uint32_t slot = id.slot();
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A generation mismatch means the event already fired or was cancelled
+  // (each consumption bumps the generation, invalidating old handles).
+  if (s.gen != id.generation() || !s.fn) return false;
+  retire(slot);
   return true;
 }
 
-bool Simulator::pop_next(Event& out) {
+void Simulator::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();  // release captured state immediately
+  ++s.gen;
+  if (s.gen == 0) s.gen = 1;  // generation 0 is never issued
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_events_;
+}
+
+void Simulator::fire(std::uint32_t slot) {
+  EventFn fn = std::move(slots_[slot].fn);
+  retire(slot);
+  fn();
+}
+
+void Simulator::drop_stale() {
   while (!queue_.empty()) {
-    // priority_queue::top() is const; we need to move the closure out, so we
-    // copy the small fields and const_cast the function (safe: the element
-    // is popped immediately after).
-    const Event& top = queue_.top();
-    const bool dead = top.id < cancelled_.size() && cancelled_[top.id];
-    out.when = top.when;
-    out.id = top.id;
-    if (!dead) out.fn = std::move(const_cast<Event&>(top).fn);
+    const QueueEntry& top = queue_.top();
+    if (slots_[top.slot].gen == top.gen) return;
     queue_.pop();
-    --live_events_;
-    if (!dead) return true;
   }
-  return false;
 }
 
 std::uint64_t Simulator::run() {
   std::uint64_t executed = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    now_ = ev.when;
-    ev.fn();
+  for (;;) {
+    drop_stale();
+    if (queue_.empty()) break;
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    now_ = top.when;
+    fire(top.slot);
     ++executed;
   }
   return executed;
@@ -53,20 +73,13 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) break;
-    Event ev;
-    // pop_next may drain cancelled events past the deadline check; re-check.
-    if (!pop_next(ev)) break;
-    if (ev.when > deadline) {
-      // Rare: the first live event is beyond the deadline. Re-queue it.
-      queue_.push(Event{ev.when, ev.id, std::move(ev.fn)});
-      ++live_events_;
-      break;
-    }
-    now_ = ev.when;
-    ev.fn();
+  for (;;) {
+    drop_stale();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    now_ = top.when;
+    fire(top.slot);
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -74,11 +87,18 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  now_ = ev.when;
-  ev.fn();
+  drop_stale();
+  if (queue_.empty()) return false;
+  const QueueEntry top = queue_.top();
+  queue_.pop();
+  now_ = top.when;
+  fire(top.slot);
   return true;
+}
+
+void Simulator::reserve(std::size_t events) {
+  queue_.reserve(events);
+  slots_.reserve(events);
 }
 
 }  // namespace sdr::sim

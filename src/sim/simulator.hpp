@@ -6,22 +6,62 @@
 // same timestamp execute in FIFO order of scheduling (a monotonically
 // increasing sequence number breaks ties), which makes every run exactly
 // reproducible from the RNG seed regardless of container/queue internals.
+//
+// The hot path is allocation-free in steady state:
+//  * Event callables live in a fixed inline buffer (InlineFunction) — a
+//    capture that does not fit is a compile error, never a heap spill.
+//  * Callables are stored in a generation-tagged slot pool; the priority
+//    queue holds 24-byte POD entries {when, seq, slot, gen}, so heap sifts
+//    move trivially-copyable data.
+//  * EventId is {slot, generation}: cancel() is O(1), fired/cancelled ids
+//    go stale by a generation bump, and memory is bounded by the number of
+//    *pending* events — not by every event ever scheduled.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/inline_function.hpp"
 
 namespace sdr::sim {
 
-using EventFn = std::function<void()>;
+/// Inline storage budget for event callables. Large enough for `this` plus
+/// a handful of indices/scalars (the SR/EC timer closures capture at most
+/// 32 bytes); small enough that pool slots stay cache-friendly.
+inline constexpr std::size_t kEventInlineBytes = 48;
+
+using EventFn = InlineFunction<void(), kEventInlineBytes>;
 
 /// Handle used to cancel a scheduled event (e.g. a retransmission timer
-/// disarmed by an ACK). Cancelled events stay in the queue but are skipped.
-using EventId = std::uint64_t;
+/// disarmed by an ACK). Encodes {pool slot, generation}: when the event
+/// fires or is cancelled the slot's generation is bumped, so stale handles
+/// are recognized in O(1) without tombstone bookkeeping. A
+/// default-constructed EventId is the "no event" value (`!valid()`).
+class EventId {
+ public:
+  constexpr EventId() = default;
+
+  constexpr bool valid() const { return bits_ != 0; }
+  constexpr explicit operator bool() const { return valid(); }
+  friend constexpr bool operator==(const EventId&, const EventId&) = default;
+
+ private:
+  friend class Simulator;
+  constexpr EventId(std::uint32_t slot, std::uint32_t generation)
+      : bits_((static_cast<std::uint64_t>(generation) << 32) | slot) {}
+  constexpr std::uint32_t slot() const {
+    return static_cast<std::uint32_t>(bits_);
+  }
+  constexpr std::uint32_t generation() const {
+    return static_cast<std::uint32_t>(bits_ >> 32);
+  }
+
+  // Valid ids always have generation >= 1, so bits_ == 0 never collides
+  // with a real {slot 0, generation g} handle.
+  std::uint64_t bits_{0};
+};
 
 class Simulator {
  public:
@@ -40,7 +80,9 @@ class Simulator {
   EventId schedule_at(SimTime when, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already ran / was
-  /// cancelled. O(1): the event is tombstoned, not removed.
+  /// cancelled. O(1): the slot's generation is bumped and its callable
+  /// destroyed immediately; the stale queue entry (24 bytes of POD) is
+  /// discarded when it surfaces at the queue head.
   bool cancel(EventId id);
 
   /// Run until the queue drains. Returns the number of events executed.
@@ -48,6 +90,8 @@ class Simulator {
 
   /// Run until the clock would pass `deadline` (events at exactly
   /// `deadline` are executed). Returns the number of events executed.
+  /// Events beyond the deadline are never popped, so cancelling them
+  /// afterwards behaves exactly as if run_until had not been called.
   std::uint64_t run_until(SimTime deadline);
 
   /// Execute exactly one event if available. Returns false if queue empty.
@@ -56,27 +100,60 @@ class Simulator {
   bool empty() const { return live_events_ == 0; }
   std::size_t pending() const { return live_events_; }
 
+  /// Pre-size the event pool and queue (avoids growth allocations during
+  /// the measured phase of benchmarks).
+  void reserve(std::size_t events);
+
+  /// Number of pool slots ever materialized — bounded by the peak number
+  /// of simultaneously pending events, not by total events scheduled.
+  /// Exposed for memory-boundedness regression tests.
+  std::size_t pool_slots() const { return slots_.size(); }
+
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct QueueEntry {
     SimTime when;
-    EventId id;
-    EventFn fn;
+    std::uint64_t seq;  // FIFO tie-break among same-timestamp events
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among same-timestamp events
+      return a.seq > b.seq;
     }
   };
+  // priority_queue with access to the underlying vector's reserve().
+  class EventQueue
+      : public std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                   Later> {
+   public:
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
 
-  bool pop_next(Event& out);
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen{1};
+    std::uint32_t next_free{kNoSlot};
+  };
+
+  /// Pop queue entries whose slot generation moved on (cancelled events).
+  void drop_stale();
+  /// Consume the slot: destroy the callable, bump the generation, return
+  /// the slot to the free list and decrement the live count.
+  void retire(std::uint32_t slot);
+  /// Move the callable out, retire the slot, then invoke. Retiring first
+  /// makes cancel-after-fire return false and lets the handler reuse the
+  /// slot when it reschedules.
+  void fire(std::uint32_t slot);
 
   SimTime now_{SimTime::zero()};
-  EventId next_id_{1};
+  std::uint64_t next_seq_{0};
   std::size_t live_events_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Tombstones for cancelled events; swept as they surface at the queue top.
-  std::vector<bool> cancelled_;
+  EventQueue queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_{kNoSlot};
 };
 
 }  // namespace sdr::sim

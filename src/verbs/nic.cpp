@@ -1,6 +1,7 @@
 #include "verbs/nic.hpp"
 
 #include <utility>
+#include <variant>
 
 #include "common/logging.hpp"
 
@@ -60,7 +61,7 @@ void Nic::send_packet(WirePacket&& pkt) {
 }
 
 void Nic::deliver(sim::Packet&& packet) {
-  auto* pkt = std::any_cast<WirePacket>(&packet.payload);
+  auto* pkt = std::get_if<WirePacket>(&packet.payload);
   if (pkt == nullptr) {
     ++unknown_qp_;
     return;

@@ -391,9 +391,9 @@ void Qp::rc_handle_ack(Psn acked_up_to) {
     rc_acked_psn_ = acked_up_to;
     rc_retries_ = 0;
   }
-  if (rc_timer_ != 0) {
+  if (rc_timer_.valid()) {
     nic_.simulator().cancel(rc_timer_);
-    rc_timer_ = 0;
+    rc_timer_ = {};
   }
   if (!rc_unacked_.empty()) rc_arm_timer();
 }
@@ -517,10 +517,10 @@ void Qp::rc_sr_receive(WirePacket&& pkt) {
 }
 
 void Qp::rc_arm_timer() {
-  if (rc_timer_ != 0) return;  // already armed
+  if (rc_timer_.valid()) return;  // already armed
   rc_timer_ = nic_.simulator().schedule(
       SimTime::from_seconds(config_.rc_ack_timeout_s), [this] {
-        rc_timer_ = 0;
+        rc_timer_ = {};
         rc_on_timeout();
       });
 }
@@ -549,9 +549,9 @@ void Qp::rc_retransmit_from(Psn psn) {
     WirePacket copy = u.pkt;
     send_packet(std::move(copy), /*count_retransmission=*/true);
   }
-  if (rc_timer_ != 0) {
+  if (rc_timer_.valid()) {
     nic_.simulator().cancel(rc_timer_);
-    rc_timer_ = 0;
+    rc_timer_ = {};
   }
   rc_arm_timer();
 }

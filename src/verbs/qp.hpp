@@ -143,7 +143,7 @@ class Qp {
   // RC sender state.
   std::deque<Unacked> rc_unacked_;
   Psn rc_acked_psn_{0};  // next PSN expected to be acked
-  sim::EventId rc_timer_{0};
+  sim::EventId rc_timer_{};
   int rc_retries_{0};
 
   // RC receiver state.

@@ -58,10 +58,108 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(SimulatorTest, CancelUnknownIdIsSafe) {
+TEST(SimulatorTest, CancelInvalidIdIsSafe) {
   Simulator sim;
-  EXPECT_FALSE(sim.cancel(0));
-  EXPECT_FALSE(sim.cancel(9999));
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(EventId{}.valid());
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(SimTime{10}, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // The slot was retired (and may have a new generation); the old handle
+  // must be recognized as stale.
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterFireWithSlotReuse) {
+  // Fire an event, then schedule another (which reuses the freed slot);
+  // the stale handle must not cancel the new occupant.
+  Simulator sim;
+  int first = 0, second = 0;
+  const EventId id = sim.schedule(SimTime{10}, [&] { ++first; });
+  sim.run();
+  sim.schedule(SimTime{10}, [&] { ++second; });
+  EXPECT_FALSE(sim.cancel(id));  // stale: generation moved on
+  sim.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorTest, RunUntilLeavesCancelledHeadPastDeadline) {
+  // Regression for the seed's re-queue path: cancelled events before the
+  // deadline used to force a pop of the first live event *past* the
+  // deadline, which was then re-inserted — racing any concurrent cancel of
+  // that id. The head past the deadline must never be popped at all.
+  Simulator sim;
+  int fired = 0;
+  const EventId before = sim.schedule(SimTime{20}, [&] { ++fired; });
+  const EventId after = sim.schedule(SimTime{100}, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(before));
+  EXPECT_EQ(sim.run_until(SimTime{50}), 0u);
+  EXPECT_EQ(sim.now().ns, 50);
+  // The event beyond the deadline is still cancellable exactly once.
+  EXPECT_TRUE(sim.cancel(after));
+  EXPECT_FALSE(sim.cancel(after));
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, FifoOrderingSurvivesSlotReuse) {
+  // Cancelling events frees pool slots; later same-timestamp events reuse
+  // them. FIFO ordering is keyed on the schedule sequence, so it must be
+  // unaffected by which slot an event happens to occupy.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 8; ++i) {
+    cancelled.push_back(sim.schedule(SimTime{50}, [] {}));
+  }
+  sim.schedule(SimTime{50}, [&] { order.push_back(0); });
+  for (const EventId id : cancelled) EXPECT_TRUE(sim.cancel(id));
+  // These reuse the 8 freed slots (in LIFO free-list order) yet must fire
+  // in scheduling order.
+  for (int i = 1; i <= 8; ++i) {
+    sim.schedule(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, PoolMemoryBoundedByPendingEvents) {
+  // The seed kept one tombstone bit per id ever scheduled (unbounded over
+  // a long sweep). The pool must stay at the high-water mark of *pending*
+  // events regardless of how many schedule/cancel cycles run.
+  Simulator sim;
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = sim.schedule(SimTime{1000}, [] {});
+    EXPECT_TRUE(sim.cancel(id));
+  }
+  EXPECT_LE(sim.pool_slots(), 4u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorTest, InlineCallableHoldsFullBudget) {
+  // A capture at exactly the inline budget must compile and run (anything
+  // larger is rejected at compile time by InlineFunction's static_assert).
+  Simulator sim;
+  struct Blob {
+    char data[kEventInlineBytes - sizeof(int*)];
+  };
+  Blob blob{};
+  blob.data[0] = 42;
+  int out = 0;
+  int* out_ptr = &out;
+  sim.schedule(SimTime{1}, [blob, out_ptr] { *out_ptr = blob.data[0]; });
+  sim.run();
+  EXPECT_EQ(out, 42);
 }
 
 TEST(SimulatorTest, RunUntilStopsAtDeadline) {
