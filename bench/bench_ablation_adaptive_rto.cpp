@@ -28,6 +28,7 @@ struct Outcome {
 Outcome run(double true_rtt_s, double configured_rto_s, bool adaptive,
             double p_drop, int messages) {
   sim::Simulator sim;
+  bench::TelemetrySession::attach(sim);
   sim::Channel::Config cfg;
   cfg.bandwidth_bps = 100 * Gbps;
   cfg.distance_km = rtt_to_km(true_rtt_s);
@@ -83,7 +84,8 @@ Outcome run(double true_rtt_s, double configured_rto_s, bool adaptive,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: static vs adaptive RTO (§4.1.1)",
                        "8 x 4 MiB messages, 1%% packet drop; the configured "
                        "RTO assumes a 3750 km peer but the actual peer is "

@@ -29,6 +29,7 @@ struct RunStats {
 RunStats run(reliability::ReliableChannel::Kind kind, bool bursty,
              std::uint64_t seed) {
   sim::Simulator sim;
+  bench::TelemetrySession::attach(sim);
   sim::Channel::Config cfg;
   cfg.bandwidth_bps = 100 * Gbps;
   cfg.distance_km = 1000.0;
@@ -96,7 +97,8 @@ RunStats run(reliability::ReliableChannel::Kind kind, bool bursty,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: burst vs i.i.d. loss",
                        "executable SR/EC over Gilbert-Elliott bursts vs "
                        "i.i.d. drops at ~1e-3 average loss (8 MiB writes)");

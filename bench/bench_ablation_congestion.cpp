@@ -35,6 +35,7 @@ struct RunStats {
 RunStats run(reliability::ReliableChannel::Kind kind, bool congested,
              double iid_equivalent_loss, double ec_beta) {
   sim::Simulator sim;
+  bench::TelemetrySession::attach(sim);
   // Two-stage forward path: the sender NIC's serializer paces the
   // foreground to line rate (unbounded queue, negligible distance), then a
   // SWITCH egress with a bounded buffer carries it across the long haul.
@@ -136,7 +137,8 @@ RunStats run(reliability::ReliableChannel::Kind kind, bool congested,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: emergent congestion vs i.i.d. loss",
                        "8 MiB reliable Writes sharing a 100G link with "
                        "bursty cross traffic and a 2 MiB switch buffer");

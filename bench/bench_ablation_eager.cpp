@@ -60,7 +60,8 @@ double measure_latency(std::size_t bytes, std::size_t eager_threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: eager vs rendezvous (§4.1, [43])",
                        "receiver completion latency, 400G x 3750 km "
                        "(RTT 37.5 ms), lossless");

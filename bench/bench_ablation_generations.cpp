@@ -90,7 +90,8 @@ TrialResult run_trial(std::size_t generations, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: generations (§3.3.2)",
                        "early receive completion + slot reuse with "
                        "in-flight packets, 20 trials per configuration");

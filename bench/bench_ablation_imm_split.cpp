@@ -13,7 +13,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: immediate bit split (§3.2.4)",
                        "capability and measured cost per split");
 

@@ -82,7 +82,8 @@ Outcome run(std::size_t channels, std::size_t trunk_paths) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: multi-channel over ECMP (§3.4.1)",
                        "64 MiB transfer over a 4 x 100 Gbit/s trunk; "
                        "channel QPs recruit paths via the flow hash");

@@ -32,7 +32,8 @@ model::AllreduceParams base(std::uint64_t n, std::uint64_t buffer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: ring vs tree Allreduce schedules",
                        "mean | p99.9 completion across buffer sizes and "
                        "drop rates (400G, 25 ms RTT hops)",

@@ -96,7 +96,8 @@ SimOutcome run_backend(core::Transport transport, double p_drop) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Ablation: UC zero-copy vs UD staging backend (§2.3)",
                        "measured staging cost + functional comparison");
 

@@ -16,7 +16,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header(
       "Figure 2", "UDP drop rate vs payload size across 200 trials "
       "(16 flows, 100 Gbit/s, 350 km, congestion-modulated ISP path)",

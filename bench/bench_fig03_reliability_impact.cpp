@@ -42,7 +42,8 @@ std::vector<std::string> row_for(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 3",
                        "reliability impact on message time at 400 Gbit/s "
                        "(slowdown vs lossless ideal)");

@@ -11,7 +11,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 9",
                        "EC(32,8) speedup over SR RTO at 400 Gbit/s, 25 ms "
                        "RTT (mean completion, packet-granularity chunks)");

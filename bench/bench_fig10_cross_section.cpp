@@ -29,7 +29,8 @@ model::LinkParams base_link(double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 10",
                        "cross-sections: mean + tail completion, NACK gain, "
                        "MDS split sweep (400G, 25 ms RTT)",

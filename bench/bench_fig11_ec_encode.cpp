@@ -95,6 +95,7 @@ double measure_gbps() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 11",
                        "MDS vs XOR EC(32,8): encode cost (measured on this "
                        "host) and resilience (128 MiB buffer, 64 KiB "

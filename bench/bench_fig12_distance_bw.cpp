@@ -10,7 +10,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 12",
                        "128 MiB Write completion normalized to lossless, "
                        "distance x bandwidth grid, Pdrop = 1e-5");

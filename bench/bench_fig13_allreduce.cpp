@@ -36,7 +36,8 @@ double tail_speedup(std::uint64_t datacenters, std::uint64_t buffer_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 13",
                        "ring Allreduce p99.9 speedup, MDS EC over SR RTO "
                        "(400G links, 25 ms RTT per hop)",

@@ -60,7 +60,8 @@ double measured_engine_rate(std::size_t workers, std::size_t total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   const core::QpAttr attr = fig14_attr();
   bench::figure_header("Figure 14",
                        "SDR throughput: message-size sweep and DPA thread "

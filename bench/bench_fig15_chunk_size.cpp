@@ -15,7 +15,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 15",
                        "bitmap chunk size: measured per-CQE cost, projected "
                        "16-thread packet rate, chunk drop probability");

@@ -17,7 +17,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   bench::figure_header("Figure 16",
                        "packet-rate scaling vs DPA receive threads "
                        "(4 KiB MTU, 64 KiB chunks)");

@@ -27,6 +27,7 @@
 #include <new>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "sim/channel.hpp"
@@ -237,6 +238,9 @@ void run_packet_delivery(std::uint64_t total_packets) {
 }  // namespace sdr::sim
 
 int main(int argc, char** argv) {
+  // Inert unless --telemetry-out is passed; the trajectory numbers are
+  // recorded with telemetry compiled in but disabled (the zero-cost path).
+  sdr::bench::TelemetrySession telemetry(&argc, argv);
   // Scale factor so CI can run a quick pass (bench_simcore 0.1).
   double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
   if (!(scale > 0.0)) scale = 1.0;  // garbage/zero arg would NaN the JSON

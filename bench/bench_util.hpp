@@ -7,12 +7,116 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdr::bench {
+
+/// Opt-in telemetry capture for every fig/ablation binary.
+///
+/// Declare one at the top of main:
+///
+///   int main(int argc, char** argv) {
+///     sdr::bench::TelemetrySession telemetry(&argc, argv);
+///     ...
+///   }
+///
+/// It strips `--telemetry-out=<dir>` (and optional
+/// `--telemetry-period=<sim-seconds>`, default 1e-3) from argv. When the
+/// flag is absent the session is inert and the bench runs with telemetry
+/// disabled — the zero-overhead path. When present it enables the metric
+/// registry, arms the packet tracer, and on destruction writes
+/// `metrics.jsonl`, `trace.jsonl`, and `timeseries.csv` into the directory.
+///
+/// Benches that drive a simulator can additionally sample a periodic time
+/// series via `TelemetrySession::attach_sampler(sim)`.
+class TelemetrySession {
+ public:
+  TelemetrySession(int* argc, char** argv) {
+    int out = 1;
+    for (int in = 1; in < *argc; ++in) {
+      const char* arg = argv[in];
+      if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+        out_dir_ = arg + 16;
+      } else if (std::strncmp(arg, "--telemetry-period=", 19) == 0) {
+        period_s_ = std::strtod(arg + 19, nullptr);
+      } else {
+        argv[out++] = argv[in];
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+    if (out_dir_.empty()) return;
+
+    active_ = true;
+    telemetry::registry().enable();
+    telemetry::tracer().arm();
+    sampler_ = std::make_unique<telemetry::Sampler>(telemetry::registry(),
+                                                    period_s_);
+    instance_ = this;
+  }
+
+  ~TelemetrySession() {
+    if (!active_) return;
+    instance_ = nullptr;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    write_file("metrics.jsonl", telemetry::registry().to_jsonl());
+    write_file("trace.jsonl", telemetry::tracer().to_jsonl());
+    write_file("timeseries.csv", sampler_->to_csv());
+    std::fprintf(stderr, "[telemetry] wrote metrics.jsonl, trace.jsonl, "
+                         "timeseries.csv to %s\n", out_dir_.c_str());
+    telemetry::tracer().disarm();
+    telemetry::registry().disable();
+  }
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  bool active() const { return active_; }
+
+  /// The live session, if any — lets bench helpers deep in a run attach the
+  /// periodic sampler to the simulator they just built.
+  static TelemetrySession* instance() { return instance_; }
+
+  template <class Sim>
+  void attach_sampler(Sim& sim) {
+    if (active_) sampler_->attach(sim);
+  }
+
+  /// Convenience: attach to `sim` if a session is live, no-op otherwise.
+  template <class Sim>
+  static void attach(Sim& sim) {
+    if (instance_) instance_->attach_sampler(sim);
+  }
+
+ private:
+  void write_file(const char* name, const std::string& body) {
+    const std::filesystem::path path =
+        std::filesystem::path(out_dir_) / name;
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "[telemetry] cannot write %s\n",
+                   path.string().c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+
+  inline static TelemetrySession* instance_ = nullptr;
+  std::string out_dir_;
+  double period_s_{1e-3};
+  bool active_{false};
+  std::unique_ptr<telemetry::Sampler> sampler_;
+};
 
 inline void figure_header(const char* figure, const char* description,
                           std::uint64_t seed = 0) {

@@ -17,7 +17,8 @@
 
 using namespace sdr;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetrySession telemetry(&argc, argv);
   constexpr std::uint64_t kSeed = 0x5A11DA7E;
   constexpr int kSamples = 1000;
   bench::figure_header("Model validation (§5.1.1)",

@@ -1,0 +1,205 @@
+// Trace explorer: replay a lossy SR transfer with the packet-lifecycle
+// tracer armed and print one message's annotated timeline — the journey of
+// a chunk that was dropped on the wire and later retransmitted, from
+// `posted` through `dropped`, `rto_fired`/`retransmit`, to `delivered`,
+// `cqe`, `bitmap_update` and finally `msg_complete`.
+//
+// This is the debugging workflow the telemetry layer exists for: wire-level
+// events (tx/dropped/delivered) carry only the RDMA immediate, SDR- and
+// SR-level events carry (message, chunk); the explorer joins the two via
+// the immediates observed in `posted` events for the chunk.
+//
+// Run: ./trace_explorer [packet_drop] [KiB] [seed]
+//      defaults: 0.03, 256 KiB, 5
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "reliability/reliable_channel.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "verbs/nic.hpp"
+
+using namespace sdr;  // NOLINT — example code
+
+namespace {
+
+const char* annotate(telemetry::TraceEventType type) {
+  using T = telemetry::TraceEventType;
+  switch (type) {
+    case T::kPosted: return "SDR posts the chunk to a data QP";
+    case T::kCts: return "receiver clear-to-send arrives";
+    case T::kTx: return "packet enters the lossy channel";
+    case T::kDropped: return "channel drop model eats the packet";
+    case T::kQueueDrop: return "channel queue overflows (tail drop)";
+    case T::kReordered: return "packet held back for reordering";
+    case T::kDuplicated: return "channel duplicates the packet";
+    case T::kDelivered: return "packet reaches the remote NIC";
+    case T::kCqe: return "receive CQE surfaces at the SDR layer";
+    case T::kBitmapUpdate: return "receive bitmap marks the chunk done";
+    case T::kAckSent: return "receiver emits a cumulative ACK";
+    case T::kNackSent: return "receiver NACKs a gap";
+    case T::kRtoFired: return "sender retransmission timeout fires";
+    case T::kRetransmit: return "sender retransmits the chunk";
+    case T::kEcRepair: return "EC decode repairs the submessage";
+    case T::kEcFallback: return "EC falls back to retransmission";
+    case T::kMsgComplete: return "message fully received";
+  }
+  return "";
+}
+
+void print_event(const telemetry::TraceEvent& e) {
+  char ids[64] = "";
+  int n = 0;
+  if (e.msg != telemetry::kNoMsg) {
+    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
+                       " msg=%llu", static_cast<unsigned long long>(e.msg));
+  }
+  if (e.chunk != telemetry::kNoChunk) {
+    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
+                       " chunk=%u", e.chunk);
+  }
+  if (e.imm != telemetry::kNoImm) {
+    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
+                       " imm=0x%08x", e.imm);
+  }
+  std::printf("  %12.9f s  %-14s qp=%-3u%-38s %s\n", e.t.seconds(),
+              telemetry::to_string(e.type), e.qp, ids, annotate(e.type));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double p_drop = argc > 1 ? std::atof(argv[1]) : 0.03;
+  const std::size_t kib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 256;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+  const std::size_t bytes = kib * KiB;
+
+  telemetry::registry().enable();
+  telemetry::tracer().arm();
+
+  sim::Simulator sim;
+  sim::Channel::Config link;
+  link.bandwidth_bps = 100 * Gbps;
+  link.distance_km = 100.0;  // ~1 ms RTT
+  link.seed = seed;
+  verbs::NicPair nics = verbs::make_connected_pair(sim, link, p_drop, 0.0);
+
+  reliability::ReliableChannel::Options options;
+  options.kind = reliability::ReliableChannel::Kind::kSrRto;
+  options.profile.bandwidth_bps = link.bandwidth_bps;
+  options.profile.rtt_s = 2.0 * propagation_delay_s(link.distance_km);
+  options.profile.p_drop_packet = p_drop;
+  // chunk == MTU so the wire packet index equals the SR chunk index and a
+  // chunk's whole life is a single packet stream — the simplest timeline.
+  options.profile.mtu = 1024;
+  options.profile.chunk_bytes = 1024;
+  options.attr.mtu = 1024;
+  options.attr.chunk_size = 1024;
+  options.attr.max_msg_size = 4 * MiB;
+  options.attr.max_inflight = 8;
+  options.derive_timeouts();
+  reliability::ReliableChannel channel(sim, *nics.a, *nics.b, options);
+
+  std::vector<std::uint8_t> src(bytes), dst(bytes, 0);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  bool done = false;
+  channel.recv(dst.data(), bytes, [&](const Status& s) {
+    done = s.is_ok();
+  });
+  channel.send(src.data(), bytes, [](const Status&) {});
+  sim.run();
+
+  if (!done || std::memcmp(src.data(), dst.data(), bytes) != 0) {
+    std::fprintf(stderr, "transfer failed\n");
+    return 1;
+  }
+  std::printf("Transferred %s over %.0f km at %.0f Gbit/s, p_drop=%g: "
+              "%llu retransmissions, completion %.6f s (sim time)\n\n",
+              format_bytes(bytes).c_str(), link.distance_km,
+              link.bandwidth_bps / 1e9, p_drop,
+              static_cast<unsigned long long>(channel.retransmissions()),
+              sim.now().seconds());
+
+  // Pick the first chunk the SR sender had to retransmit and rebuild its
+  // full cross-layer timeline.
+  const auto events = telemetry::tracer().collect();
+  std::uint64_t msg = telemetry::kNoMsg;
+  std::uint32_t chunk = telemetry::kNoChunk;
+  for (const auto& e : events) {
+    if (e.type == telemetry::TraceEventType::kRetransmit &&
+        e.msg != telemetry::kNoMsg) {
+      msg = e.msg;
+      chunk = e.chunk;
+      break;
+    }
+  }
+  if (msg == telemetry::kNoMsg) {
+    std::printf("No chunk was retransmitted (drop dice were kind) — rerun "
+                "with a higher drop rate or another seed.\n");
+    return 0;
+  }
+
+  // Wire-level events only know the RDMA immediate; collect every immediate
+  // this chunk was posted with (original + retransmissions), then take the
+  // SDR/SR-level events for (msg, chunk) plus the wire events for those
+  // immediates. This is exactly what Tracer::chunk_timeline does for a
+  // single immediate.
+  std::set<std::uint32_t> imms;
+  for (const auto& e : events) {
+    if (e.type == telemetry::TraceEventType::kPosted && e.msg == msg &&
+        e.chunk == chunk && e.imm != telemetry::kNoImm) {
+      imms.insert(e.imm);
+    }
+  }
+  std::vector<telemetry::TraceEvent> timeline;
+  for (const auto& e : events) {
+    const bool sdr_level =
+        e.msg == msg &&
+        (e.chunk == chunk || e.chunk == telemetry::kNoChunk);
+    const bool wire_level =
+        e.msg == telemetry::kNoMsg && imms.count(e.imm) > 0;
+    if (sdr_level || wire_level) timeline.push_back(e);
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const telemetry::TraceEvent& a,
+                      const telemetry::TraceEvent& b) { return a.t < b.t; });
+
+  std::printf("Timeline of msg %llu chunk %u (dropped then "
+              "retransmitted):\n",
+              static_cast<unsigned long long>(msg), chunk);
+  // Coalesce runs of identical events (e.g. the periodic cumulative ACK
+  // stuck at this chunk while its retransmission is in flight).
+  for (std::size_t i = 0; i < timeline.size();) {
+    const auto& e = timeline[i];
+    std::size_t run = 1;
+    while (i + run < timeline.size() &&
+           timeline[i + run].type == e.type && timeline[i + run].qp == e.qp &&
+           timeline[i + run].msg == e.msg &&
+           timeline[i + run].chunk == e.chunk) {
+      ++run;
+    }
+    print_event(e);
+    if (run > 1) {
+      std::printf("       ... x%zu more until %.9f s\n", run - 1,
+                  timeline[i + run - 1].t.seconds());
+    }
+    i += run;
+  }
+
+  std::printf("\nRegistry snapshot (reliability.sr.*):\n");
+  std::vector<telemetry::FlatMetric> metrics;
+  telemetry::registry().flatten(metrics);
+  for (const auto& m : metrics) {
+    if (m.name.rfind("reliability.sr.", 0) == 0) {
+      std::printf("  %-44s %.6g\n", m.name.c_str(), m.value);
+    }
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sdr::collectives {
 
 namespace {
@@ -68,6 +70,13 @@ BroadcastResult BinomialBroadcast::run(
   std::size_t rounds = 0;
   for (std::size_t v = 1; v < n; v <<= 1) ++rounds;
   result.rounds = rounds;
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("collectives.broadcast.runs").inc();
+    reg.counter("collectives.broadcast.rounds").inc(rounds);
+    reg.counter("collectives.broadcast.bytes").inc(config_.bytes * (n - 1));
+  }
 
   buffers_ = &buffers;
   has_data_.assign(n, false);

@@ -47,6 +47,15 @@ RingAllreduce::RingAllreduce(sim::Simulator& simulator, RingConfig config)
     channels_.push_back(std::make_unique<reliability::ReliableChannel>(
         sim_, *nics_[i], *nics_[(i + 1) % n], config_.channel));
   }
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    tele_ = telemetry::Scope(reg, reg.instance_name("collectives.ring"));
+    parts_done_ = tele_.counter("parts_done");
+    tele_.bind_gauge("done_nodes", [this] {
+      return static_cast<double>(done_nodes_);
+    });
+  }
 }
 
 RingAllreduce::~RingAllreduce() = default;
@@ -178,6 +187,7 @@ void RingAllreduce::start_step(std::size_t rank) {
 void RingAllreduce::on_part_done(std::size_t rank, std::uint64_t step) {
   Node& node = *nodes_[rank];
   if (node.step != step) return;  // stale callback (should not happen)
+  parts_done_.inc();
   if (--node.pending == 0) {
     ++node.step;
     start_step(rank);

@@ -15,6 +15,7 @@
 #include "reliability/reliable_channel.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verbs/nic.hpp"
 
 namespace sdr::collectives {
@@ -63,6 +64,8 @@ class RingAllreduce {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::size_t done_nodes_{0};
   std::vector<std::vector<float>>* buffers_{nullptr};
+  telemetry::Counter parts_done_;
+  telemetry::Scope tele_;  // last member: unbinds before members die
 };
 
 }  // namespace sdr::collectives

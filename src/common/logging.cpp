@@ -1,14 +1,38 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 namespace sdr {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+/// Initial level from the SDR_LOG_LEVEL environment variable
+/// (debug/info/warn/error, case-insensitive); kWarn when unset or
+/// unrecognised. Evaluated once, before main, so even static-init-time
+/// logging honours it.
+int initial_level() {
+  const char* env = std::getenv("SDR_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  std::string v;
+  for (const char* p = env; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (v == "info") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warn" || v == "warning") return static_cast<int>(LogLevel::kWarn);
+  if (v == "error") return static_cast<int>(LogLevel::kError);
+  std::fprintf(stderr,
+               "[WARN  logging] unrecognised SDR_LOG_LEVEL=\"%s\" "
+               "(want debug|info|warn|error); keeping warn\n", env);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -13,7 +13,8 @@ namespace sdr {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level; messages below it are dropped. Defaults to kWarn so
-/// tests and benches stay quiet unless they opt in.
+/// tests and benches stay quiet unless they opt in, overridable at startup
+/// via the SDR_LOG_LEVEL environment variable (debug|info|warn|error).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

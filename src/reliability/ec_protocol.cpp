@@ -24,6 +24,21 @@ EcSender::EcSender(sim::Simulator& simulator, core::Qp& qp,
   assert(codec_.k() == config_.k && codec_.m() == config_.m);
   control_.set_receiver(
       [this](const std::uint8_t* d, std::size_t n) { on_control(d, n); });
+  if (telemetry::enabled()) register_metrics();
+}
+
+void EcSender::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("reliability.ec.sender"));
+  tele_.bind_counter("messages", &stats_.messages);
+  tele_.bind_counter("data_chunks_sent", &stats_.data_chunks_sent);
+  tele_.bind_counter("parity_chunks_sent", &stats_.parity_chunks_sent);
+  tele_.bind_counter("fallback_retransmissions",
+                     &stats_.fallback_retransmissions);
+  tele_.bind_counter("ec_nacks", &stats_.ec_nacks);
+  tele_.bind_gauge("inflight_messages", [this] {
+    return static_cast<double>(messages_.size());
+  });
 }
 
 Status EcSender::write(const std::uint8_t* data, std::size_t length,
@@ -131,6 +146,11 @@ void EcSender::enter_fallback(MsgState& msg, std::uint64_t base,
   for (std::uint32_t sub : failed) {
     if (sub >= msg.submessages || msg.sub_done[sub]) continue;
     if (!msg.timers[sub].empty()) continue;  // already in fallback
+    if (telemetry::tracing()) {
+      telemetry::tracer().emit(sim_.now(),
+                               telemetry::TraceEventType::kEcFallback, 0,
+                               base, sub);
+    }
     msg.acked[sub].resize(config_.k);
     msg.timers[sub].assign(config_.k, sim::EventId{});
     ++msg.subs_pending_fallback;
@@ -149,7 +169,16 @@ void EcSender::fallback_send(MsgState& msg, std::uint64_t base,
   const std::uint8_t* src = msg.data + sub * sub_bytes + chunk * chunk_bytes_;
   qp_.send_stream_continue(msg.data_handles[sub], src, chunk * chunk_bytes_,
                            chunk_bytes_);
-  if (retransmission) ++stats_.fallback_retransmissions;
+  if (retransmission) {
+    ++stats_.fallback_retransmissions;
+    if (telemetry::tracing()) {
+      telemetry::tracer().emit(sim_.now(),
+                               telemetry::TraceEventType::kRetransmit, 0,
+                               msg.data_handles[sub]->msg_number(),
+                               static_cast<std::uint32_t>(chunk),
+                               telemetry::kNoImm, chunk_bytes_);
+    }
+  }
 }
 
 void EcSender::arm_fallback_timer(std::uint64_t base, std::size_t sub,
@@ -242,6 +271,21 @@ EcReceiver::EcReceiver(sim::Simulator& simulator, core::Qp& qp,
       chunk_bytes_(qp.attr().chunk_size) {
   qp_.set_recv_event_handler(
       [this](const core::RecvEvent& event) { on_chunk_event(event); });
+  if (telemetry::enabled()) register_metrics();
+}
+
+void EcReceiver::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("reliability.ec.receiver"));
+  tele_.bind_counter("messages", &stats_.messages);
+  tele_.bind_counter("decoded_submessages", &stats_.decoded_submessages);
+  tele_.bind_counter("clean_submessages", &stats_.clean_submessages);
+  tele_.bind_counter("fallback_submessages", &stats_.fallback_submessages);
+  tele_.bind_counter("ec_nacks_sent", &stats_.ec_nacks_sent);
+  tele_.bind_counter("ftos_fired", &stats_.ftos_fired);
+  tele_.bind_gauge("inflight_messages", [this] {
+    return static_cast<double>(messages_.size());
+  });
 }
 
 Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
@@ -403,6 +447,11 @@ bool EcReceiver::try_recover(MsgState& msg, std::size_t sub) {
     return false;
   }
   ++stats_.decoded_submessages;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kEcRepair,
+                             0, msg.data_handles[sub]->msg_number(),
+                             static_cast<std::uint32_t>(sub));
+  }
   return true;
 }
 
@@ -427,6 +476,10 @@ void EcReceiver::on_fto(std::uint64_t base) {
   MsgState& msg = it->second;
   if (msg.complete) return;
   ++stats_.ftos_fired;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kRtoFired,
+                             0, base);
+  }
   msg.fallback = true;
 
   ControlMessage nack;

@@ -28,6 +28,7 @@
 #include "reliability/profile.hpp"
 #include "sdr/sdr.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdr::reliability {
 
@@ -84,6 +85,7 @@ class EcSender {
     DoneFn done;
   };
 
+  void register_metrics();
   void on_control(const std::uint8_t* data, std::size_t length);
   void enter_fallback(MsgState& msg, std::uint64_t base,
                       const std::vector<std::uint32_t>& failed);
@@ -108,6 +110,7 @@ class EcSender {
   // Maps any data submessage msg_number -> base (for fallback ACK routing).
   std::unordered_map<std::uint64_t, std::uint64_t> sub_to_base_;
   EcSenderStats stats_;
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 struct EcReceiverStats {
@@ -155,6 +158,7 @@ class EcReceiver {
     DoneFn done;
   };
 
+  void register_metrics();
   void on_chunk_event(const core::RecvEvent& event);
   bool submessage_recoverable(const MsgState& msg, std::size_t sub) const;
   bool try_recover(MsgState& msg, std::size_t sub);
@@ -175,6 +179,7 @@ class EcReceiver {
   std::unordered_map<std::uint64_t, MsgState> messages_;
   std::unordered_map<std::uint64_t, std::uint64_t> handle_to_base_;
   EcReceiverStats stats_;
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 }  // namespace sdr::reliability

@@ -35,6 +35,23 @@ SrSender::SrSender(sim::Simulator& simulator, core::Qp& qp,
   qp_.set_cts_handler([this](std::uint64_t msg_number) {
     arm_all_timers(msg_number);
   });
+  if (telemetry::enabled()) register_metrics();
+}
+
+void SrSender::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("reliability.sr.sender"));
+  tele_.bind_counter("messages", &stats_.messages);
+  tele_.bind_counter("chunks_sent", &stats_.chunks_sent);
+  tele_.bind_counter("retransmissions", &stats_.retransmissions);
+  tele_.bind_counter("acks_received", &stats_.acks_received);
+  tele_.bind_counter("nacks_received", &stats_.nacks_received);
+  tele_.bind_gauge("srtt_s", [this] { return estimator_.srtt_s(); });
+  tele_.bind_gauge("rto_s", [this] { return current_rto_s(); });
+  tele_.bind_gauge("inflight_messages", [this] {
+    return static_cast<double>(messages_.size());
+  });
+  rtt_hist_ = tele_.histogram("rtt_sample_s", 1e-6, 100.0);
 }
 
 Status SrSender::write(const std::uint8_t* data, std::size_t length,
@@ -80,6 +97,15 @@ void SrSender::send_chunk(MsgState& msg, std::size_t chunk,
                           bool retransmission) {
   const std::size_t offset = chunk * chunk_bytes_;
   const std::size_t len = std::min(chunk_bytes_, msg.length - offset);
+  if (retransmission && telemetry::tracing()) {
+    // Before the injection: the re-post can traverse the channel in the
+    // same sim-time instant, and the timeline should read
+    // retransmit -> posted -> tx.
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kRetransmit,
+                             0, msg.handle->msg_number(),
+                             static_cast<std::uint32_t>(chunk),
+                             telemetry::kNoImm, len);
+  }
   const Status s =
       qp_.send_stream_continue(msg.handle, msg.data + offset, offset, len);
   if (!s) {
@@ -113,6 +139,12 @@ void SrSender::arm_timer(std::uint64_t msg_number, std::size_t chunk) {
         if (mit == messages_.end()) return;
         MsgState& msg = mit->second;
         if (msg.acked.test(chunk)) return;
+        if (telemetry::tracing()) {
+          telemetry::tracer().emit(sim_.now(),
+                                   telemetry::TraceEventType::kRtoFired, 0,
+                                   msg_number,
+                                   static_cast<std::uint32_t>(chunk));
+        }
         send_chunk(msg, chunk, /*retransmission=*/true);
         arm_timer(msg_number, chunk);
       });
@@ -176,12 +208,13 @@ void SrSender::mark_acked(MsgState& msg, std::size_t chunk) {
     sim_.cancel(msg.timers[chunk]);
     msg.timers[chunk] = {};
   }
-  if (config_.adaptive_rto && !msg.retransmitted.test(chunk) &&
-      msg.sent_at_s[chunk] >= 0.0) {
+  if (!msg.retransmitted.test(chunk) && msg.sent_at_s[chunk] >= 0.0) {
     // Karn: only never-retransmitted chunks yield unambiguous RTT samples.
     // Chunks queued before the CTS only start travelling when it arrives.
     const double departed = std::max(msg.sent_at_s[chunk], msg.cts_at_s);
-    estimator_.update(sim_.now().seconds() - departed);
+    const double sample = sim_.now().seconds() - departed;
+    if (config_.adaptive_rto) estimator_.update(sample);
+    rtt_hist_.record(sample);
   }
 }
 
@@ -218,6 +251,18 @@ SrReceiver::SrReceiver(sim::Simulator& simulator, core::Qp& qp,
       config_(config) {
   qp_.set_recv_event_handler(
       [this](const core::RecvEvent& event) { on_chunk_event(event); });
+  if (telemetry::enabled()) register_metrics();
+}
+
+void SrReceiver::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("reliability.sr.receiver"));
+  tele_.bind_counter("messages", &stats_.messages);
+  tele_.bind_counter("acks_sent", &stats_.acks_sent);
+  tele_.bind_counter("nacks_sent", &stats_.nacks_sent);
+  tele_.bind_gauge("inflight_messages", [this] {
+    return static_cast<double>(messages_.size());
+  });
 }
 
 Status SrReceiver::expect(std::uint8_t* buffer, std::size_t length,
@@ -268,6 +313,10 @@ void SrReceiver::send_ack(MsgState& msg) {
   const std::vector<std::uint8_t> wire = encode_control(ack);
   control_.send(wire.data(), wire.size());
   ++stats_.acks_sent;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
+                             0, ack.msg_number, ack.cumulative);
+  }
 }
 
 void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
@@ -294,6 +343,10 @@ void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
   const std::vector<std::uint8_t> wire = encode_control(nack);
   control_.send(wire.data(), wire.size());
   ++stats_.nacks_sent;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kNackSent,
+                             0, nack.msg_number, nack.indices.front());
+  }
 }
 
 void SrReceiver::ack_tick(std::uint64_t msg_number) {
@@ -316,6 +369,10 @@ void SrReceiver::complete(MsgState& msg, std::uint64_t msg_number) {
   const std::vector<std::uint8_t> wire = encode_control(ack);
   control_.send(wire.data(), wire.size());
   ++stats_.acks_sent;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
+                             0, msg_number, ack.cumulative);
+  }
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
     // Init-capture: `wire` is const, and a const member would degrade the
     // event's relocation to a copy (InlineFunction requires nothrow moves).

@@ -27,6 +27,7 @@
 #include "reliability/rtt_estimator.hpp"
 #include "sdr/sdr.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdr::reliability {
 
@@ -105,6 +106,7 @@ class SrSender {
     return config_.adaptive_rto ? estimator_.rto_s() : config_.rto_s;
   }
 
+  void register_metrics();
   void send_chunk(MsgState& msg, std::size_t chunk, bool retransmission);
   void arm_timer(std::uint64_t msg_number, std::size_t chunk);
   void arm_all_timers(std::uint64_t msg_number);
@@ -124,6 +126,8 @@ class SrSender {
   RttEstimator estimator_;
   Rng rng_{0x5EEDCAFE};  // retransmission-timer jitter
   SrSenderStats stats_;
+  telemetry::HistogramHandle rtt_hist_;  // adaptive-RTO RTT samples
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 
  public:
   const RttEstimator& rtt_estimator() const { return estimator_; }
@@ -158,6 +162,7 @@ class SrReceiver {
     bool complete{false};
   };
 
+  void register_metrics();
   void on_chunk_event(const core::RecvEvent& event);
   void send_ack(MsgState& msg);
   void maybe_nack(MsgState& msg, std::size_t completed_chunk);
@@ -171,6 +176,7 @@ class SrReceiver {
   SrProtoConfig config_;
   std::unordered_map<std::uint64_t, MsgState> messages_;
   SrReceiverStats stats_;
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 }  // namespace sdr::reliability

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "ec/probability.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdr::reliability {
 
@@ -66,6 +68,20 @@ Recommendation recommend(const LinkProfile& profile,
   Recommendation rec;
   rec.best = candidates.front();
   rec.ranked = candidates;
+
+  SDR_INFO("tuner: %s for %zu-byte message (%.2fx ideal, %zu candidates)",
+           model::scheme_name(rec.best.scheme).c_str(), message_bytes,
+           rec.best.slowdown_vs_ideal, candidates.size());
+
+  if (telemetry::enabled()) {
+    // Tuner decisions are process-wide owned counters (the tuner is a free
+    // function with no instance to scope them to).
+    auto& reg = telemetry::registry();
+    reg.counter("reliability.tuner.recommendations").inc();
+    reg.counter(std::string("reliability.tuner.pick.") +
+                model::scheme_name(rec.best.scheme))
+        .inc();
+  }
 
   std::ostringstream why;
   const double bdp = bdp_bytes(profile.bandwidth_bps, profile.rtt_s);

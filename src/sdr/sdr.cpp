@@ -115,7 +115,37 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
     send_handles_.push_back(std::make_unique<SendHandle>());
     recv_handles_.push_back(std::make_unique<RecvHandle>());
   }
+
+  if (telemetry::enabled()) register_metrics();
 }
+
+void Qp::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("sdr.qp"));
+  tele_.bind_counter("cts_sent", &stats_.cts_sent);
+  tele_.bind_counter("cts_received", &stats_.cts_received);
+  tele_.bind_counter("data_packets_sent", &stats_.data_packets_sent);
+  tele_.bind_counter("completions_processed", &stats_.completions_processed);
+  tele_.bind_counter("completions_discarded", &stats_.completions_discarded);
+  tele_.bind_counter("sends_queued_waiting_cts",
+                     &stats_.sends_queued_waiting_cts);
+  tele_.bind_counter("staged_packets", &stats_.staged_packets);
+  tele_.bind_counter("staged_bytes", &stats_.staged_bytes);
+  tele_.bind_gauge("active_sends", [this] {
+    return static_cast<double>(active_sends_.size());
+  });
+  tele_.bind_gauge("send_cq_depth", [this] {
+    return static_cast<double>(send_cq_->size());
+  });
+  tele_.bind_gauge("send_cq_overruns", [this] {
+    return static_cast<double>(send_cq_->overruns());
+  });
+  tele_.bind_gauge("control_cq_depth", [this] {
+    return static_cast<double>(control_cq_->size());
+  });
+}
+
+SimTime Qp::sim_now() const { return ctx_.nic().simulator().now(); }
 
 Qp::~Qp() {
   verbs::Nic& nic = ctx_.nic();
@@ -299,6 +329,16 @@ void Qp::inject(SendHandle* handle, const std::uint8_t* data,
     const std::uint32_t imm =
         codec_.encode(static_cast<std::uint32_t>(slot), packet_index, frag);
 
+    // Emit before the post: the post may traverse the whole channel
+    // synchronously in sim time, and within one timestamp the ring keeps
+    // emission order, so the timeline should read posted -> tx -> ...
+    if (telemetry::tracing()) {
+      telemetry::tracer().emit(
+          sim_now(), telemetry::TraceEventType::kPosted,
+          remote_data_qps_[gen * attr_.channels + channel],
+          handle->msg_number_, packet_index, imm, chunk);
+    }
+
     if (attr_.transport == Transport::kUd) {
       // Two-sided datagram: the receiver resolves placement from the
       // immediate (offset) itself and copies out of its staging buffer.
@@ -465,6 +505,10 @@ void Qp::on_control_cqe() {
     rwr.length = cts_buffers_[buf].size();
     control_qp_->post_recv(rwr);
     ++stats_.cts_received;
+    if (telemetry::tracing()) {
+      telemetry::tracer().emit(sim_now(), telemetry::TraceEventType::kCts,
+                               control_qp_->num(), cts.msg_number);
+    }
 
     if (const auto it = active_sends_.find(cts.msg_number);
         it != active_sends_.end()) {
@@ -522,8 +566,24 @@ void Qp::on_data_cqe(std::size_t qp_index) {
       ++stats_.completions_discarded;
       continue;
     }
-    if (!recv_event_handler_) continue;
     RecvHandle* h = recv_handles_[fields.msg_id].get();
+    if (telemetry::tracing()) {
+      const std::uint64_t msg =
+          h->in_use_ ? h->msg_number_ : telemetry::kNoMsg;
+      auto& tr = telemetry::tracer();
+      const SimTime now = sim_now();
+      const std::uint32_t qp_num = data_qps_[qp_index]->num();
+      tr.emit(now, telemetry::TraceEventType::kCqe, qp_num, msg,
+              fields.packet_index, cqe->imm, cqe->byte_len);
+      if (result.chunk_completed) {
+        tr.emit(now, telemetry::TraceEventType::kBitmapUpdate, qp_num, msg,
+                result.chunk_index);
+      }
+      if (result.message_completed) {
+        tr.emit(now, telemetry::TraceEventType::kMsgComplete, qp_num, msg);
+      }
+    }
+    if (!recv_event_handler_) continue;
     if (!h->in_use_) continue;
     if (result.chunk_completed) {
       recv_event_handler_(

@@ -24,6 +24,7 @@
 #include "sdr/config.hpp"
 #include "sdr/imm_codec.hpp"
 #include "sdr/message_table.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verbs/cq.hpp"
 #include "verbs/nic.hpp"
 
@@ -203,6 +204,8 @@ class Qp {
   void inject(SendHandle* handle, const std::uint8_t* data,
               std::size_t remote_offset, std::size_t length);
   void flush_queued(SendHandle* handle);
+  void register_metrics();
+  SimTime sim_now() const;
 
   Context& ctx_;
   QpAttr attr_;
@@ -245,6 +248,7 @@ class Qp {
   std::function<void(const RecvEvent&)> recv_event_handler_;
   std::function<void(std::uint64_t)> cts_handler_;
   SdrQpStats stats_;
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 /// SDR device context: wraps a software NIC, owns QPs and registered memory

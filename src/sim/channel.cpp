@@ -15,6 +15,38 @@ Channel::Channel(Simulator& simulator, Config config,
           propagation_delay_s(config.distance_km) + config.extra_delay_s)) {
   assert(drop_model_ && "channel requires a drop model");
   drop_model_->reset(rng_);
+  if (telemetry::enabled()) register_metrics();
+}
+
+void Channel::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("sim.channel"));
+  tele_.bind_counter("sent_packets", &stats_.sent_packets);
+  tele_.bind_counter("sent_bytes", &stats_.sent_bytes);
+  tele_.bind_counter("dropped_packets", &stats_.dropped_packets);
+  tele_.bind_counter("queue_drops", &stats_.queue_drops);
+  tele_.bind_counter("reordered_packets", &stats_.reordered_packets);
+  tele_.bind_counter("duplicated_packets", &stats_.duplicated_packets);
+  tele_.bind_counter("delivered_packets", &stats_.delivered_packets);
+  tele_.bind_gauge("drop_rate", [this] { return stats_.drop_rate(); });
+  tele_.bind_gauge("queue_backlog_bytes", [this] {
+    return static_cast<double>(queue_backlog_bytes());
+  });
+}
+
+void Channel::trace_packet(telemetry::TraceEventType type,
+                           const Packet& packet) {
+  // The channel cannot decode the SDR immediate, so wire-level events carry
+  // the raw imm (and destination QP) for the trace join; non-verbs payloads
+  // trace with sentinel fields only.
+  std::uint32_t qp = 0;
+  std::uint32_t imm = telemetry::kNoImm;
+  if (const auto* wire = std::get_if<verbs::WirePacket>(&packet.payload)) {
+    qp = wire->dst_qp;
+    imm = wire->imm;
+  }
+  telemetry::tracer().emit(sim_.now(), type, qp, telemetry::kNoMsg,
+                           telemetry::kNoChunk, imm, packet.bytes);
 }
 
 std::size_t Channel::queue_backlog_bytes() const {
@@ -28,6 +60,9 @@ void Channel::send(Packet packet) {
   packet.id = next_packet_id_++;
   ++stats_.sent_packets;
   stats_.sent_bytes += packet.bytes;
+  if (telemetry::tracing()) {
+    trace_packet(telemetry::TraceEventType::kTx, packet);
+  }
 
   // Egress buffer: tail-drop when the serializer backlog would overflow
   // the configured queue capacity (congestion loss).
@@ -35,6 +70,9 @@ void Channel::send(Packet packet) {
       queue_backlog_bytes() + packet.bytes > config_.queue_capacity_bytes) {
     ++stats_.dropped_packets;
     ++stats_.queue_drops;
+    if (telemetry::tracing()) {
+      trace_packet(telemetry::TraceEventType::kQueueDrop, packet);
+    }
     return;
   }
 
@@ -46,6 +84,9 @@ void Channel::send(Packet packet) {
 
   if (drop_model_->should_drop(rng_, packet.bytes)) {
     ++stats_.dropped_packets;
+    if (telemetry::tracing()) {
+      trace_packet(telemetry::TraceEventType::kDropped, packet);
+    }
     return;  // the bits still occupied the wire; they just never arrive
   }
 
@@ -53,6 +94,9 @@ void Channel::send(Packet packet) {
   if (config_.reorder_probability > 0.0 &&
       rng_.bernoulli(config_.reorder_probability)) {
     ++stats_.reordered_packets;
+    if (telemetry::tracing()) {
+      trace_packet(telemetry::TraceEventType::kReordered, packet);
+    }
     arrival += SimTime::from_seconds(config_.reorder_extra_delay_s);
   }
 
@@ -65,6 +109,9 @@ void Channel::send(Packet packet) {
   const std::uint32_t slot = acquire_slot(std::move(packet));
   if (duplicate) {
     ++stats_.duplicated_packets;
+    if (telemetry::tracing()) {
+      trace_packet(telemetry::TraceEventType::kDuplicated, pool_[slot].pkt);
+    }
     const std::uint32_t copy = acquire_slot_copy(slot);
     sim_.schedule_at(arrival + propagation_,
                      [this, copy] { deliver_slot(copy); });
@@ -106,6 +153,9 @@ void Channel::deliver_slot(std::uint32_t slot) {
   // the callback may send on this channel again (protocol loops), which
   // can grow the pool and would invalidate any reference into it.
   Packet packet = std::move(pool_[slot].pkt);
+  if (telemetry::tracing()) {
+    trace_packet(telemetry::TraceEventType::kDelivered, packet);
+  }
   pool_[slot].next_free = free_head_;
   free_head_ = slot;
   if (deliver_) deliver_(std::move(packet));

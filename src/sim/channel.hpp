@@ -19,6 +19,7 @@
 #include "sim/drop_model.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdr::sim {
 
@@ -108,6 +109,8 @@ class Channel {
   std::uint32_t acquire_slot(Packet&& packet);
   std::uint32_t acquire_slot_copy(std::uint32_t from);
   void deliver_slot(std::uint32_t slot);
+  void register_metrics();
+  void trace_packet(telemetry::TraceEventType type, const Packet& packet);
 
   Simulator& sim_;
   Config config_;
@@ -120,6 +123,7 @@ class Channel {
   std::uint64_t next_packet_id_{0};
   std::vector<PoolSlot> pool_;
   std::uint32_t free_head_{kNoSlot};
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 /// A bidirectional link: two independent channels sharing a configuration

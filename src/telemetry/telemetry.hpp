@@ -1,0 +1,20 @@
+// Umbrella header for the telemetry subsystem.
+//
+//   registry()  — hierarchical counters/gauges/histograms, sampled over time
+//   tracer()    — packet-lifecycle event ring with JSONL export
+//   Sampler     — periodic registry snapshots -> CSV/JSONL time series
+//
+// Typical bring-up (before constructing the instrumented stack):
+//
+//   telemetry::registry().enable();
+//   telemetry::tracer().arm();
+//   telemetry::Sampler sampler(telemetry::registry(), /*period_s=*/1e-3);
+//   sampler.attach(sim);
+//
+// See src/telemetry/registry.hpp for the zero-overhead-when-disabled
+// contract.
+#pragma once
+
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"

@@ -12,6 +12,23 @@ namespace sdr::verbs {
 Qp::Qp(Nic& nic, QpNumber num, QpConfig config)
     : nic_(nic), num_(num), config_(config) {
   assert(config_.mtu > 0);
+  if (telemetry::enabled()) register_metrics();
+}
+
+void Qp::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("verbs.qp"));
+  tele_.bind_counter("packets_sent", &stats_.packets_sent);
+  tele_.bind_counter("packets_received", &stats_.packets_received);
+  tele_.bind_counter("bytes_sent", &stats_.bytes_sent);
+  tele_.bind_counter("messages_dropped_epsn", &stats_.messages_dropped_epsn);
+  tele_.bind_counter("packets_discarded", &stats_.packets_discarded);
+  tele_.bind_counter("rc_retransmissions", &stats_.rc_retransmissions);
+  tele_.bind_counter("rc_naks_sent", &stats_.rc_naks_sent);
+  tele_.bind_counter("remote_access_errors", &stats_.remote_access_errors);
+  tele_.bind_gauge("rc_unacked", [this] {
+    return static_cast<double>(rc_unacked_.size());
+  });
 }
 
 Status Qp::connect(NicId remote_nic, QpNumber remote_qp) {
@@ -151,7 +168,16 @@ Status Qp::post_recv(const RecvWr& wr) {
 void Qp::send_packet(WirePacket&& pkt, bool count_retransmission) {
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.payload.size();
-  if (count_retransmission) ++stats_.rc_retransmissions;
+  if (count_retransmission) {
+    ++stats_.rc_retransmissions;
+    if (telemetry::tracing()) {
+      // PSN stands in for the chunk id at the RC transport level.
+      telemetry::tracer().emit(nic_.simulator().now(),
+                               telemetry::TraceEventType::kRetransmit, num_,
+                               telemetry::kNoMsg, pkt.psn, pkt.imm,
+                               pkt.payload.size());
+    }
+  }
   nic_.send_packet(std::move(pkt));
 }
 
@@ -527,6 +553,11 @@ void Qp::rc_arm_timer() {
 
 void Qp::rc_on_timeout() {
   if (rc_unacked_.empty()) return;
+  if (telemetry::tracing()) {
+    telemetry::tracer().emit(nic_.simulator().now(),
+                             telemetry::TraceEventType::kRtoFired, num_,
+                             telemetry::kNoMsg, rc_unacked_.front().pkt.psn);
+  }
   ++rc_retries_;
   if (rc_retries_ > config_.rc_retry_limit) {
     // Give up: flush all outstanding work with an error, like hardware

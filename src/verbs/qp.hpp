@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verbs/cq.hpp"
 #include "verbs/mr.hpp"
 #include "verbs/types.hpp"
@@ -159,6 +160,9 @@ class Qp {
   void rc_place_by_offset(const WirePacket& pkt);
   std::unordered_set<Psn> rc_ooo_received_;
   std::map<Psn, Cqe> rc_pending_cqes_;
+
+  void register_metrics();
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
 }  // namespace sdr::verbs

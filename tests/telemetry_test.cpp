@@ -1,0 +1,457 @@
+// Telemetry acceptance tests: the registry mirrors the legacy stats structs
+// exactly (external-pointer binding, not duplication), the tracer tells a
+// dropped-then-retransmitted chunk's full cross-layer story in sim-time
+// order, and the periodic sampler's time series is bit-identical across two
+// same-seed runs. Plus edge-case coverage for the Histogram/RunningStats
+// primitives the registry builds on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "reliability/sr_protocol.hpp"
+#include "sdr/sdr.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "verbs/nic.hpp"
+
+namespace sdr::telemetry {
+namespace {
+
+using reliability::ControlLink;
+using reliability::LinkProfile;
+using reliability::SrProtoConfig;
+using reliability::SrReceiver;
+using reliability::SrSender;
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 131 + (i >> 9));
+  }
+  return v;
+}
+
+/// A full SR-over-SDR stack on one lossy simulated link, built fresh per
+/// test (the telemetry registry registers components at construction, so
+/// each rig starts from a clean registry). Owns its simulator so repeated
+/// rigs replay identical sim-time histories.
+struct LossyRig {
+  LossyRig(double p_drop_fwd, std::size_t chunk_size, std::uint64_t seed,
+           bool nack = false) {
+    sim::Channel::Config cfg;
+    cfg.bandwidth_bps = 100e9;
+    cfg.distance_km = 100.0;  // ~1 ms RTT
+    cfg.seed = seed;
+    pair = verbs::make_connected_pair(sim, cfg, p_drop_fwd, 0.0);
+    ctx_a = std::make_unique<core::Context>(*pair.a, core::DevAttr{});
+    ctx_b = std::make_unique<core::Context>(*pair.b, core::DevAttr{});
+    core::QpAttr attr;
+    attr.mtu = 1024;
+    attr.chunk_size = static_cast<std::uint32_t>(chunk_size);
+    attr.max_msg_size = 256 * 1024;
+    attr.max_inflight = 8;
+    attr.generations = 2;
+    qp_a = ctx_a->create_qp(attr);
+    qp_b = ctx_b->create_qp(attr);
+    qp_a->connect(qp_b->info());
+    qp_b->connect(qp_a->info());
+
+    ctrl_a = std::make_unique<ControlLink>(*pair.a);
+    ctrl_b = std::make_unique<ControlLink>(*pair.b);
+    ctrl_a->connect(pair.b->id(), ctrl_b->qp_number());
+    ctrl_b->connect(pair.a->id(), ctrl_a->qp_number());
+
+    profile.bandwidth_bps = cfg.bandwidth_bps;
+    profile.rtt_s = 2.0 * propagation_delay_s(cfg.distance_km);
+    profile.p_drop_packet = p_drop_fwd;
+    profile.mtu = attr.mtu;
+    profile.chunk_bytes = chunk_size;
+
+    SrProtoConfig config;
+    config.rto_s = 3.0 * profile.rtt_s;
+    config.ack_interval_s = profile.rtt_s / 4.0;
+    config.nack_enabled = nack;
+    config.nack_holdoff_s = profile.rtt_s;
+    sender = std::make_unique<SrSender>(sim, *qp_a, *ctrl_a, profile, config);
+    receiver =
+        std::make_unique<SrReceiver>(sim, *qp_b, *ctrl_b, profile, config);
+  }
+
+  void transfer(std::size_t bytes, std::uint8_t seed) {
+    const auto src = pattern(bytes, seed);
+    std::vector<std::uint8_t> dst(bytes, 0);
+    const auto* mr = ctx_b->mr_reg(dst.data(), dst.size());
+    bool send_done = false, recv_done = false;
+    ASSERT_TRUE(receiver
+                    ->expect(dst.data(), bytes, mr,
+                             [&](const Status& s) {
+                               EXPECT_TRUE(s.is_ok());
+                               recv_done = true;
+                             })
+                    .is_ok());
+    ASSERT_TRUE(sender
+                    ->write(src.data(), bytes,
+                            [&](const Status& s) {
+                              EXPECT_TRUE(s.is_ok());
+                              send_done = true;
+                            })
+                    .is_ok());
+    sim.run();
+    ASSERT_TRUE(send_done && recv_done);
+    ASSERT_EQ(std::memcmp(dst.data(), src.data(), bytes), 0);
+  }
+
+  sim::Simulator sim;
+  verbs::NicPair pair;
+  std::unique_ptr<core::Context> ctx_a, ctx_b;
+  core::Qp* qp_a{nullptr};
+  core::Qp* qp_b{nullptr};
+  std::unique_ptr<ControlLink> ctrl_a, ctrl_b;
+  LinkProfile profile;
+  std::unique_ptr<SrSender> sender;
+  std::unique_ptr<SrReceiver> receiver;
+};
+
+class TelemetryStackTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    tracer().disarm();
+    registry().disable();
+  }
+};
+
+// --- tentpole acceptance: registry mirrors legacy stats structs ----------
+
+TEST_F(TelemetryStackTest, RegistryCountersMatchLegacyStats) {
+  registry().enable();
+  LossyRig rig(0.02, 4096, /*seed=*/5);
+  rig.transfer(128 * 1024, 2);
+
+  const auto& ss = rig.sender->stats();
+  EXPECT_GT(ss.retransmissions, 0u) << "want a genuinely lossy transfer";
+
+  auto& reg = registry();
+  // The first SR sender/receiver constructed after enable() get instance 0.
+  EXPECT_EQ(reg.counter_value("reliability.sr.sender0.messages"), ss.messages);
+  EXPECT_EQ(reg.counter_value("reliability.sr.sender0.chunks_sent"),
+            ss.chunks_sent);
+  EXPECT_EQ(reg.counter_value("reliability.sr.sender0.retransmissions"),
+            ss.retransmissions);
+  EXPECT_EQ(reg.counter_value("reliability.sr.sender0.acks_received"),
+            ss.acks_received);
+  EXPECT_EQ(reg.counter_value("reliability.sr.sender0.nacks_received"),
+            ss.nacks_received);
+
+  const auto& rs = rig.receiver->stats();
+  EXPECT_EQ(reg.counter_value("reliability.sr.receiver0.acks_sent"),
+            rs.acks_sent);
+  EXPECT_EQ(reg.counter_value("reliability.sr.receiver0.nacks_sent"),
+            rs.nacks_sent);
+
+  // SDR QP a (sender side) registers first -> sdr.qp0.
+  const auto& qa = rig.qp_a->stats();
+  EXPECT_EQ(reg.counter_value("sdr.qp0.cts_received"), qa.cts_received);
+  EXPECT_EQ(reg.counter_value("sdr.qp0.data_packets_sent"),
+            qa.data_packets_sent);
+  EXPECT_EQ(reg.counter_value("sdr.qp0.completions_processed"),
+            qa.completions_processed);
+  const auto& qb = rig.qp_b->stats();
+  EXPECT_EQ(reg.counter_value("sdr.qp1.cts_sent"), qb.cts_sent);
+  EXPECT_EQ(reg.counter_value("sdr.qp1.completions_processed"),
+            qb.completions_processed);
+
+  // The channel saw every drop the SR layer had to repair.
+  EXPECT_GT(reg.counter_value("sim.channel0.dropped_packets") +
+                reg.counter_value("sim.channel1.dropped_packets"),
+            0u);
+
+  // RTT histogram fed by mark_acked: one sample per first-transmission ACK.
+  const Histogram* rtt =
+      reg.find_histogram("reliability.sr.sender0.rtt_sample_s");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GT(rtt->count(), 0u);
+  EXPECT_GE(rtt->mean(), rig.profile.rtt_s * 0.5);
+
+  // Export is well-formed and covers every entry.
+  std::vector<FlatMetric> flat;
+  reg.flatten(flat);
+  EXPECT_GE(flat.size(), reg.size());
+  const std::string jsonl = reg.to_jsonl();
+  EXPECT_NE(jsonl.find("reliability.sr.sender0.retransmissions"),
+            std::string::npos);
+}
+
+// --- tentpole acceptance: tracer timeline for a retransmitted chunk ------
+
+TEST_F(TelemetryStackTest, TracerChunkTimelineForDroppedChunk) {
+  registry().enable();
+  tracer().arm();
+  // chunk == MTU so the SDR packet index equals the SR chunk index and one
+  // chunk is exactly one wire packet.
+  LossyRig rig(0.05, 1024, /*seed=*/7);
+  rig.transfer(64 * 1024, 3);
+  ASSERT_GT(rig.sender->stats().retransmissions, 0u);
+
+  const auto events = tracer().collect();
+  ASSERT_FALSE(events.empty());
+
+  // Events are emitted while the simulator clock advances, so the ring is
+  // already sim-time ordered.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t);
+  }
+
+  // Find a retransmitted chunk whose first transmission was dropped on the
+  // wire, and check its full cross-layer story.
+  bool found = false;
+  for (const auto& r : events) {
+    if (r.type != TraceEventType::kRetransmit || r.msg == kNoMsg) continue;
+    const std::uint64_t msg = r.msg;
+    const std::uint32_t chunk = r.chunk;
+    // The chunk's immediate, learned from its posted event.
+    std::uint32_t imm = kNoImm;
+    for (const auto& e : events) {
+      if (e.type == TraceEventType::kPosted && e.msg == msg &&
+          e.chunk == chunk) {
+        imm = e.imm;
+        break;
+      }
+    }
+    ASSERT_NE(imm, kNoImm) << "retransmitted chunk was never posted?";
+    const auto timeline = tracer().chunk_timeline(msg, chunk, imm);
+    ASSERT_FALSE(timeline.empty());
+
+    auto first_time = [&](TraceEventType type) -> double {
+      for (const auto& e : timeline) {
+        if (e.type == type) return e.t.seconds();
+      }
+      return -1.0;
+    };
+    auto last_time = [&](TraceEventType type) -> double {
+      double t = -1.0;
+      for (const auto& e : timeline) {
+        if (e.type == type) t = e.t.seconds();
+      }
+      return t;
+    };
+
+    const double posted = first_time(TraceEventType::kPosted);
+    const double tx = first_time(TraceEventType::kTx);
+    const double dropped = first_time(TraceEventType::kDropped);
+    if (dropped < 0.0) continue;  // retransmit caused by a late ACK, skip
+    const double rto = first_time(TraceEventType::kRtoFired);
+    const double retx = first_time(TraceEventType::kRetransmit);
+    const double delivered = last_time(TraceEventType::kDelivered);
+    const double cqe = last_time(TraceEventType::kCqe);
+    const double bitmap = last_time(TraceEventType::kBitmapUpdate);
+    const double complete = first_time(TraceEventType::kMsgComplete);
+
+    ASSERT_GE(posted, 0.0);
+    ASSERT_GE(tx, 0.0);
+    ASSERT_GE(rto, 0.0);
+    ASSERT_GE(retx, 0.0);
+    ASSERT_GE(delivered, 0.0);
+    ASSERT_GE(cqe, 0.0);
+    ASSERT_GE(bitmap, 0.0);
+    ASSERT_GE(complete, 0.0);
+
+    EXPECT_LE(posted, tx);
+    EXPECT_LE(tx, dropped);
+    EXPECT_LE(dropped, rto);
+    EXPECT_LE(rto, retx);
+    EXPECT_LE(retx, delivered);
+    EXPECT_LE(delivered, cqe);
+    EXPECT_LE(cqe, bitmap);
+    EXPECT_LE(bitmap, complete);
+    found = true;
+    break;
+  }
+  EXPECT_TRUE(found)
+      << "no retransmitted chunk had a wire-level drop in its timeline";
+
+  // JSONL export: filterable, one object per line, named event types.
+  Tracer::Filter filter;
+  filter.qp = kNoImm;
+  const std::string jsonl = tracer().to_jsonl(filter);
+  EXPECT_NE(jsonl.find("\"event\":\"retransmit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"msg_complete\""), std::string::npos);
+}
+
+// --- tentpole acceptance: sampler time series is run-to-run identical ----
+
+TEST_F(TelemetryStackTest, SamplerTimeSeriesDeterministic) {
+  auto run_once = [&]() -> std::string {
+    registry().enable();
+    Sampler sampler(registry(), /*period_s=*/1e-4);
+    LossyRig rig(0.03, 1024, /*seed=*/11);
+    sampler.attach(rig.sim);
+    rig.transfer(64 * 1024, 4);
+    std::string csv = sampler.to_csv();
+    registry().disable();  // reset instance counters for the second run
+    return csv;
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_GT(first.find('\n'), 0u);
+  EXPECT_EQ(first, second) << "same seed must give a bit-identical series";
+}
+
+// --- registry unit behaviour ---------------------------------------------
+
+TEST_F(TelemetryStackTest, DisabledRegistryHandsOutInertHandles) {
+  ASSERT_FALSE(registry().enabled());
+  Counter c = registry().counter("nobody.home");
+  EXPECT_FALSE(c.live());
+  c.inc(42);  // must be a no-op, not a crash
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_FALSE(registry().has("nobody.home"));
+
+  Scope scope(registry(), "dead.scope");
+  EXPECT_FALSE(scope.active());
+  Gauge g = scope.gauge("g");
+  g.set(1.0);
+  EXPECT_EQ(g.value(), 0.0);
+
+  // Components built while disabled never register, so the instrumented
+  // stack stays metric-free.
+  LossyRig rig(0.0, 4096, /*seed=*/1);
+  EXPECT_EQ(registry().size(), 0u);
+}
+
+TEST_F(TelemetryStackTest, ScopeFreezesFinalValuesOnDestruction) {
+  registry().enable();
+  std::uint64_t bound = 0;
+  double live_state = 7.5;
+  {
+    Scope scope(registry(), "ephemeral");
+    Counter c = scope.counter("hits");
+    c.inc(3);
+    scope.bind_counter("bound", &bound);
+    scope.bind_gauge("gauge", [&live_state] { return live_state; });
+    bound = 41;
+    EXPECT_EQ(registry().counter_value("ephemeral.hits"), 3u);
+    EXPECT_EQ(registry().counter_value("ephemeral.bound"), 41u);
+  }
+  // The scope died (component gone) but the last values survive for
+  // end-of-run export, detached from the dead component's storage.
+  bound = 999;       // must not show through: the registry copied 41
+  live_state = -1.0;  // ditto for the gauge callback
+  EXPECT_EQ(registry().counter_value("ephemeral.hits"), 3u);
+  EXPECT_EQ(registry().counter_value("ephemeral.bound"), 41u);
+  EXPECT_DOUBLE_EQ(registry().gauge_value("ephemeral.gauge"), 7.5);
+  registry().disable();
+  EXPECT_FALSE(registry().has("ephemeral.hits"));
+  EXPECT_EQ(registry().size(), 0u);
+}
+
+TEST_F(TelemetryStackTest, InstanceNamesCountPerBase) {
+  registry().enable();
+  EXPECT_EQ(registry().instance_name("x.y"), "x.y0");
+  EXPECT_EQ(registry().instance_name("x.y"), "x.y1");
+  EXPECT_EQ(registry().instance_name("z"), "z0");
+  registry().disable();
+  registry().enable();
+  EXPECT_EQ(registry().instance_name("x.y"), "x.y0") << "disable resets";
+}
+
+TEST_F(TelemetryStackTest, TracerRingIsBoundedAndOverwritesOldest) {
+  tracer().arm(/*capacity=*/8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    tracer().emit(SimTime::from_seconds(i * 1e-3), TraceEventType::kTx,
+                  /*qp=*/i);
+  }
+  EXPECT_EQ(tracer().size(), 8u);
+  EXPECT_EQ(tracer().overwritten(), 12u);
+  const auto events = tracer().collect();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().qp, 12u) << "oldest surviving event";
+  EXPECT_EQ(events.back().qp, 19u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t);
+  }
+}
+
+// --- satellite: Histogram / RunningStats edge cases ----------------------
+
+TEST(HistogramEdgeCases, MergeEmptyIsIdentity) {
+  Histogram a(1e-6, 10.0);
+  a.record(0.5);
+  a.record(2.0);
+  const Histogram empty(1e-6, 10.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.25);
+
+  Histogram b(1e-6, 10.0);
+  b.merge(a);  // merge into empty
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.percentile(100.0), a.percentile(100.0));
+}
+
+TEST(HistogramEdgeCases, ValuesClampToRange) {
+  Histogram h(1e-3, 1.0);
+  h.record(1e-9);   // below range -> clamped into the bottom bucket
+  h.record(100.0);  // above range -> clamped into the top bucket
+  EXPECT_EQ(h.count(), 2u);
+  // True extremes are preserved by the min/max trackers even when the
+  // bucket index saturates.
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Percentile answers stay inside the representable range.
+  EXPECT_GE(h.percentile(50.0), 0.0);
+  EXPECT_LE(h.percentile(0.0), h.percentile(100.0));
+}
+
+TEST(HistogramEdgeCases, SingleBucketPercentiles) {
+  Histogram h(1e-6, 10.0);
+  for (int i = 0; i < 1000; ++i) h.record(0.123);
+  EXPECT_EQ(h.count(), 1000u);
+  // Everything is in one bucket: every percentile lands near the value.
+  const double p50 = h.percentile(50.0);
+  const double p999 = h.percentile(99.9);
+  EXPECT_NEAR(p50, 0.123, 0.123 * 0.1);
+  EXPECT_NEAR(p999, 0.123, 0.123 * 0.1);
+  EXPECT_DOUBLE_EQ(h.median(), p50);
+}
+
+TEST(RunningStatsEdgeCases, MergeMatchesSinglePassReference) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-5.0, 20.0);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsEdgeCases, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty right side
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  EXPECT_DOUBLE_EQ(a.stddev(), a_copy.stddev());
+  b.merge(a);  // empty left side
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace sdr::telemetry
