@@ -3,27 +3,57 @@
 // drop-rate grid. Red regions of the paper (speedup > 1) must appear for
 // 128 KiB - 1 GiB messages within the 1e-6..1e-2 drop range; SR must win
 // (speedup < 1) for multi-GiB messages at low drop rates.
+//
+// The grid runs on the sweep engine: `--jobs=N` fans the cells out over N
+// workers with bit-identical output (this bench is the canonical
+// serial-vs-parallel regression check — see EXPERIMENTS.md).
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "model/protocols.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Figure 9",
                        "EC(32,8) speedup over SR RTO at 400 Gbit/s, 25 ms "
                        "RTT (mean completion, packet-granularity chunks)");
 
-  model::LinkParams link;
-  link.bandwidth_bps = 400 * Gbps;
-  link.rtt_s = 0.025;
-  link.chunk_bytes = 4096;
-
   const std::vector<double> drops = {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
                                      1e-1};
+  std::vector<std::int64_t> sizes;
+  for (std::uint64_t bytes = 64 * KiB; bytes <= 64ull * GiB; bytes *= 4) {
+    sizes.push_back(static_cast<std::int64_t>(bytes));
+  }
+
+  // Last axis (p_drop) varies fastest: trial order == the old nested loops.
+  sweep::ParamGrid grid;
+  grid.axis_i64("bytes", sizes).axis_f64("p_drop", drops);
+
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sweep_cli.options(0xF16009), [](sweep::Trial& trial) {
+        model::LinkParams link;
+        link.bandwidth_bps = 400 * Gbps;
+        link.rtt_s = 0.025;
+        link.chunk_bytes = 4096;
+        link.p_drop = trial.params().f64("p_drop");
+        const auto bytes =
+            static_cast<std::uint64_t>(trial.params().i64("bytes"));
+        const std::uint64_t chunks = bytes / link.chunk_bytes;
+        const double sr = model::expected_completion_s(model::Scheme::kSrRto,
+                                                       link, chunks);
+        const double ec = model::expected_completion_s(model::Scheme::kEcMds,
+                                                       link, chunks);
+        trial.record("sr_s", sr);
+        trial.record("ec_s", ec);
+        trial.record("speedup", sr / ec);
+      });
+  sweep_cli.finish(result);
+
   std::vector<std::string> headers = {"message \\ Pdrop"};
   for (double p : drops) headers.push_back(TextTable::sci(p, 0));
   TextTable table(headers);
@@ -31,16 +61,12 @@ int main(int argc, char** argv) {
   bool red_region_seen = false;   // EC > 1.2x somewhere in the paper's range
   bool sr_wins_large_low = false; // EC < 1x for huge messages at low drop
 
-  for (std::uint64_t bytes = 64 * KiB; bytes <= 64ull * GiB; bytes *= 4) {
+  std::size_t trial_index = 0;
+  for (const std::int64_t size : sizes) {
+    const auto bytes = static_cast<std::uint64_t>(size);
     std::vector<std::string> row = {format_bytes(bytes)};
-    const std::uint64_t chunks = bytes / link.chunk_bytes;
     for (double p : drops) {
-      link.p_drop = p;
-      const double sr =
-          model::expected_completion_s(model::Scheme::kSrRto, link, chunks);
-      const double ec =
-          model::expected_completion_s(model::Scheme::kEcMds, link, chunks);
-      const double speedup = sr / ec;
+      const double speedup = result.at(trial_index++).f64("speedup");
       row.push_back(bench::speedup_cell(speedup));
       if (speedup > 1.2 && bytes >= 128 * KiB && bytes <= GiB && p >= 1e-6 &&
           p <= 1e-2) {
@@ -57,5 +83,7 @@ int main(int argc, char** argv) {
               "%s; SR wins for >=8 GiB at <=1e-6: %s\n",
               red_region_seen ? "reproduced" : "MISSING",
               sr_wins_large_low ? "reproduced" : "MISSING");
-  return (red_region_seen && sr_wins_large_low) ? 0 : 1;
+  return (red_region_seen && sr_wins_large_low && result.failures() == 0)
+             ? 0
+             : 1;
 }

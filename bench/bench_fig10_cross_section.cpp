@@ -6,10 +6,15 @@
 //   (d) 128 MiB Write: MDS data/parity split sweep vs drop rate
 // Paper headline: guided scheme choice improves mean by up to ~5-6.5x and
 // p99.9 by up to ~12x; NACK recovers up to ~4x of SR's loss.
+//
+// Each panel's grid runs on the sweep engine (`--jobs=N`). Every cell keeps
+// the bench's historical fixed sampling seed (kSeed), so stdout is
+// byte-identical to the serial version at any job count.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "model/protocols.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
@@ -27,10 +32,19 @@ model::LinkParams base_link(double p) {
   return link;
 }
 
+model::Scheme scheme_from(const std::string& name) {
+  if (name == "sr_rto") return model::Scheme::kSrRto;
+  if (name == "sr_nack") return model::Scheme::kSrNack;
+  return model::Scheme::kEcMds;
+}
+
+const std::vector<std::string> kSchemes = {"sr_rto", "sr_nack", "ec_mds"};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Figure 10",
                        "cross-sections: mean + tail completion, NACK gain, "
                        "MDS split sweep (400G, 25 ms RTT)",
@@ -40,24 +54,47 @@ int main(int argc, char** argv) {
   {
     std::printf("\n--- (a) size sweep, Pdrop = 1e-5 (slowdown vs ideal: "
                 "mean / p99.9) ---\n");
-    TextTable t({"message", "SR RTO", "SR NACK", "EC MDS(32,8)"});
+    std::vector<std::int64_t> sizes;
     for (std::uint64_t bytes = 4 * MiB; bytes <= 8ull * GiB; bytes *= 4) {
-      const model::LinkParams link = base_link(1e-5);
-      const std::uint64_t chunks = bytes / link.chunk_bytes;
-      const double ideal = model::ideal_completion_s(link, chunks);
-      std::vector<std::string> row = {format_bytes(bytes)};
-      for (auto scheme : {model::Scheme::kSrRto, model::Scheme::kSrNack,
-                          model::Scheme::kEcMds}) {
-        const auto dist = model::sample_distribution(scheme, link, chunks,
-                                                     kSamples, kSeed);
+      sizes.push_back(static_cast<std::int64_t>(bytes));
+    }
+    sweep::ParamGrid grid;
+    grid.axis_i64("bytes", sizes).axis_str("scheme", kSchemes);
+    const sweep::SweepResult result = sweep::run_sweep(
+        grid, sweep_cli.options(kSeed), [](sweep::Trial& trial) {
+          const model::LinkParams link = base_link(1e-5);
+          const std::uint64_t chunks =
+              static_cast<std::uint64_t>(trial.params().i64("bytes")) /
+              link.chunk_bytes;
+          // Historical per-cell seed: every cell samples with kSeed, which
+          // is what the serial bench printed. trial.seed() stays available
+          // for future decorrelated modes.
+          const auto dist = model::sample_distribution(
+              scheme_from(trial.params().str("scheme")), link, chunks,
+              kSamples, kSeed);
+          trial.record("mean_s", dist.mean);
+          trial.record("p999_s", dist.p999);
+          trial.record("ideal_s", model::ideal_completion_s(link, chunks));
+        });
+    sweep_cli.finish(result);
+
+    TextTable t({"message", "SR RTO", "SR NACK", "EC MDS(32,8)"});
+    std::size_t trial_index = 0;
+    for (const std::int64_t bytes : sizes) {
+      std::vector<std::string> row = {
+          format_bytes(static_cast<std::uint64_t>(bytes))};
+      for (std::size_t s = 0; s < kSchemes.size(); ++s) {
+        const sweep::TrialRecord& rec = result.at(trial_index++);
+        const double ideal = rec.f64("ideal_s");
         char cell[48];
-        std::snprintf(cell, sizeof(cell), "%.2fx / %.2fx", dist.mean / ideal,
-                      dist.p999 / ideal);
+        std::snprintf(cell, sizeof(cell), "%.2fx / %.2fx",
+                      rec.f64("mean_s") / ideal, rec.f64("p999_s") / ideal);
         row.push_back(cell);
       }
       t.add_row(std::move(row));
     }
     t.print();
+    if (result.failures() != 0) return 1;
   }
 
   const std::uint64_t chunks_128mib = (128ull << 20) / 4096;
@@ -67,30 +104,49 @@ int main(int argc, char** argv) {
   {
     std::printf("\n--- (b)(c) 128 MiB Write vs drop rate "
                 "(mean seconds | p99.9 seconds) ---\n");
+    // Axis values come from the original multiplicative loop so the exact
+    // doubles (and thus the sampled distributions) are unchanged.
+    std::vector<double> drops;
+    for (double p = 1e-7; p <= 0.011; p *= 10.0) drops.push_back(p);
+    sweep::ParamGrid grid;
+    grid.axis_f64("p_drop", drops).axis_str("scheme", kSchemes);
+    const sweep::SweepResult result = sweep::run_sweep(
+        grid, sweep_cli.options(kSeed), [chunks_128mib](sweep::Trial& trial) {
+          const model::LinkParams link =
+              base_link(trial.params().f64("p_drop"));
+          const auto dist = model::sample_distribution(
+              scheme_from(trial.params().str("scheme")), link, chunks_128mib,
+              kSamples, kSeed);
+          trial.record("mean_s", dist.mean);
+          trial.record("p999_s", dist.p999);
+        });
+    sweep_cli.finish(result);
+
     TextTable t({"Pdrop", "SR RTO", "SR NACK", "EC MDS(32,8)", "ideal"});
-    for (double p = 1e-7; p <= 0.011; p *= 10.0) {
+    std::size_t trial_index = 0;
+    for (const double p : drops) {
       const model::LinkParams link = base_link(p);
       const double ideal = model::ideal_completion_s(link, chunks_128mib);
       std::vector<std::string> row = {TextTable::sci(p, 0)};
       double sr_mean = 0, sr_tail = 0, nack_mean = 0, ec_mean = 0,
              ec_tail = 0;
-      for (auto scheme : {model::Scheme::kSrRto, model::Scheme::kSrNack,
-                          model::Scheme::kEcMds}) {
-        const auto dist = model::sample_distribution(
-            scheme, link, chunks_128mib, kSamples, kSeed);
+      for (const std::string& scheme : kSchemes) {
+        const sweep::TrialRecord& rec = result.at(trial_index++);
+        const double mean = rec.f64("mean_s");
+        const double tail = rec.f64("p999_s");
         char cell[64];
         std::snprintf(cell, sizeof(cell), "%s | %s",
-                      format_seconds(dist.mean).c_str(),
-                      format_seconds(dist.p999).c_str());
+                      format_seconds(mean).c_str(),
+                      format_seconds(tail).c_str());
         row.push_back(cell);
-        if (scheme == model::Scheme::kSrRto) {
-          sr_mean = dist.mean;
-          sr_tail = dist.p999;
-        } else if (scheme == model::Scheme::kSrNack) {
-          nack_mean = dist.mean;
+        if (scheme == "sr_rto") {
+          sr_mean = mean;
+          sr_tail = tail;
+        } else if (scheme == "sr_nack") {
+          nack_mean = mean;
         } else {
-          ec_mean = dist.mean;
-          ec_tail = dist.p999;
+          ec_mean = mean;
+          ec_tail = tail;
         }
       }
       row.push_back(format_seconds(ideal));
@@ -104,6 +160,7 @@ int main(int argc, char** argv) {
                 "(paper ~6.5x), p99.9 up to %.1fx (paper ~12.2x); NACK over "
                 "RTO up to %.1fx (paper ~4x)\n",
                 max_mean_gain, max_tail_gain, max_nack_gain);
+    if (result.failures() != 0) return 1;
   }
 
   // (d) MDS split sweep.
@@ -113,24 +170,43 @@ int main(int argc, char** argv) {
     const std::pair<std::size_t, std::size_t> splits[] = {
         {32, 2}, {32, 4}, {32, 8}, {16, 8}, {8, 8}};
     std::vector<std::string> headers = {"Pdrop"};
+    std::vector<std::int64_t> split_idx;
     for (const auto& [k, m] : splits) {
       char h[48];
       std::snprintf(h, sizeof(h), "(%zu,%zu) +%.0f%%", k, m,
                     100.0 * static_cast<double>(m) / static_cast<double>(k));
       headers.push_back(h);
+      split_idx.push_back(static_cast<std::int64_t>(split_idx.size()));
     }
+    const std::vector<double> drops = {1e-5, 1e-4, 1e-3, 1e-2, 3e-2};
+    sweep::ParamGrid grid;
+    grid.axis_f64("p_drop", drops).axis_i64("split", split_idx);
+    const sweep::SweepResult result = sweep::run_sweep(
+        grid, sweep_cli.options(kSeed),
+        [chunks_128mib, &splits](sweep::Trial& trial) {
+          const model::LinkParams link =
+              base_link(trial.params().f64("p_drop"));
+          const auto& [k, m] =
+              splits[static_cast<std::size_t>(trial.params().i64("split"))];
+          model::SchemeParams params;
+          params.ec.k = k;
+          params.ec.m = m;
+          trial.record("mean_s", model::expected_completion_s(
+                                     model::Scheme::kEcMds, link,
+                                     chunks_128mib, params));
+          trial.record("ideal_s",
+                       model::ideal_completion_s(link, chunks_128mib));
+        });
+    sweep_cli.finish(result);
+
     TextTable t(headers);
-    for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 3e-2}) {
-      const model::LinkParams link = base_link(p);
-      const double ideal = model::ideal_completion_s(link, chunks_128mib);
+    std::size_t trial_index = 0;
+    for (const double p : drops) {
       std::vector<std::string> row = {TextTable::sci(p, 0)};
-      for (const auto& [k, m] : splits) {
-        model::SchemeParams params;
-        params.ec.k = k;
-        params.ec.m = m;
-        const double mean = model::expected_completion_s(
-            model::Scheme::kEcMds, link, chunks_128mib, params);
-        row.push_back(bench::speedup_cell(mean / ideal));
+      for (std::size_t s = 0; s < split_idx.size(); ++s) {
+        const sweep::TrialRecord& rec = result.at(trial_index++);
+        row.push_back(bench::speedup_cell(rec.f64("mean_s") /
+                                          rec.f64("ideal_s")));
       }
       t.add_row(std::move(row));
     }
@@ -138,6 +214,7 @@ int main(int argc, char** argv) {
     std::printf("\nshape: lower data-to-parity ratios protect higher drop "
                 "rates at more bandwidth; (32,8) is the balanced choice "
                 "(tolerates >1e-2 at +25%% parity).\n");
+    if (result.failures() != 0) return 1;
   }
 
   const bool ok = max_mean_gain > 3.0 && max_tail_gain > 5.0;

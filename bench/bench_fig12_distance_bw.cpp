@@ -3,48 +3,69 @@
 // with growing distance or bandwidth (growing BDP), the 128 MiB message
 // becomes latency-dominated and EC overtakes SR; at short distances the
 // schemes tie near 1x.
+//
+// The bandwidth x distance grid runs on the sweep engine (`--jobs=N`);
+// table assembly replays the records in grid order, so output is
+// bit-identical at every job count.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "model/protocols.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Figure 12",
                        "128 MiB Write completion normalized to lossless, "
                        "distance x bandwidth grid, Pdrop = 1e-5");
 
-  const double bandwidths[] = {100e9, 400e9, 1600e9};
-  bool crossover_seen = false;
+  const std::vector<double> bandwidths = {100e9, 400e9, 1600e9};
+  const std::vector<double> distances = {10.0,   100.0,  500.0,  1000.0,
+                                         2000.0, 3750.0, 7500.0, 15000.0};
 
+  sweep::ParamGrid grid;
+  grid.axis_f64("bw_bps", bandwidths).axis_f64("km", distances);
+
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sweep_cli.options(0xF16012), [](sweep::Trial& trial) {
+        model::LinkParams link;
+        link.bandwidth_bps = trial.params().f64("bw_bps");
+        link.rtt_s = rtt_s(trial.params().f64("km"));
+        link.p_drop = 1e-5;
+        link.chunk_bytes = 4096;
+        const std::uint64_t chunks = (128ull << 20) / link.chunk_bytes;
+        trial.record("ideal_s", model::ideal_completion_s(link, chunks));
+        trial.record("sr_s", model::expected_completion_s(
+                                 model::Scheme::kSrRto, link, chunks));
+        trial.record("nack_s", model::expected_completion_s(
+                                   model::Scheme::kSrNack, link, chunks));
+        trial.record("ec_s", model::expected_completion_s(
+                                 model::Scheme::kEcMds, link, chunks));
+      });
+  sweep_cli.finish(result);
+
+  bool crossover_seen = false;
+  std::size_t trial_index = 0;
   for (const double bw : bandwidths) {
     std::printf("\n--- %s ---\n", format_rate(bw).c_str());
     TextTable t({"distance", "BDP", "SR RTO", "SR NACK", "EC MDS(32,8)",
                  "winner"});
-    for (const double km : {10.0, 100.0, 500.0, 1000.0, 2000.0, 3750.0,
-                            7500.0, 15000.0}) {
-      model::LinkParams link;
-      link.bandwidth_bps = bw;
-      link.rtt_s = rtt_s(km);
-      link.p_drop = 1e-5;
-      link.chunk_bytes = 4096;
-      const std::uint64_t chunks = (128ull << 20) / link.chunk_bytes;
-      const double ideal = model::ideal_completion_s(link, chunks);
-      const double sr =
-          model::expected_completion_s(model::Scheme::kSrRto, link, chunks);
-      const double nack =
-          model::expected_completion_s(model::Scheme::kSrNack, link, chunks);
-      const double ec =
-          model::expected_completion_s(model::Scheme::kEcMds, link, chunks);
+    for (const double km : distances) {
+      const sweep::TrialRecord& rec = result.at(trial_index++);
+      const double ideal = rec.f64("ideal_s");
+      const double sr = rec.f64("sr_s");
+      const double nack = rec.f64("nack_s");
+      const double ec = rec.f64("ec_s");
       const char* winner = ec < sr && ec < nack ? "EC"
                            : (nack < sr ? "SR NACK" : "SR RTO");
       char dist[32];
       std::snprintf(dist, sizeof(dist), "%5.0f km", km);
       t.add_row({dist,
                  format_bytes(static_cast<std::uint64_t>(
-                     bdp_bytes(bw, link.rtt_s))),
+                     bdp_bytes(bw, rtt_s(km)))),
                  bench::speedup_cell(sr / ideal),
                  bench::speedup_cell(nack / ideal),
                  bench::speedup_cell(ec / ideal), winner});
@@ -55,5 +76,5 @@ int main(int argc, char** argv) {
   std::printf("\nshape check: EC overtakes SR as BDP grows (long distance / "
               "high bandwidth): %s\n",
               crossover_seen ? "reproduced" : "MISSING");
-  return crossover_seen ? 0 : 1;
+  return (crossover_seen && result.failures() == 0) ? 0 : 1;
 }

@@ -7,18 +7,22 @@
 //
 // The per-CQE cost is measured on this host; rates for N threads follow
 // the multi-channel scaling model (disjoint rings, no shared state on the
-// hot path — verified live for the core counts this host has).
+// hot path — verified live for the core counts this host has). The scaling
+// grid itself runs on the sweep engine (`--jobs=N`); the live-engine
+// grounding section stays serial because it owns the machine's cores.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "dpa/calibrate.hpp"
 #include "dpa/engine.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Figure 16",
                        "packet-rate scaling vs DPA receive threads "
                        "(4 KiB MTU, 64 KiB chunks)");
@@ -37,12 +41,24 @@ int main(int argc, char** argv) {
 
   const double mtu_bits = 4096.0 * 8.0;
   const double targets[] = {400e9, 800e9, 1.6e12, 3.2e12};
+  const std::vector<std::int64_t> thread_counts = {4, 8, 16, 32, 64, 128};
+
+  sweep::ParamGrid grid;
+  grid.axis_i64("threads", thread_counts);
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sweep_cli.options(0xF16016), [&cal](sweep::Trial& trial) {
+        const auto threads =
+            static_cast<std::size_t>(trial.params().i64("threads"));
+        trial.record("pps", dpa::achievable_packet_rate(cal, threads));
+      });
+  sweep_cli.finish(result);
 
   TextTable t({"DPA threads", "packet rate", "equivalent bandwidth",
                "saturates"});
   double rate_at_32 = 0.0, rate_at_128 = 0.0;
-  for (const std::size_t threads : {4u, 8u, 16u, 32u, 64u, 128u}) {
-    const double pps = dpa::achievable_packet_rate(cal, threads);
+  std::size_t trial_index = 0;
+  for (const std::int64_t threads : thread_counts) {
+    const double pps = result.at(trial_index++).f64("pps");
     const double bps = pps * mtu_bits;
     const char* sat = "-";
     for (const double target : targets) {
@@ -89,7 +105,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool ok = rate_at_32 >= 0.8e12 && rate_at_128 >= 2.5e12;
+  const bool ok = rate_at_32 >= 0.8e12 && rate_at_128 >= 2.5e12 &&
+                  result.failures() == 0;
   std::printf("\nshape check: 32 threads reach Tbit/s-class rates and 128 "
               "threads approach 3.2 Tbit/s: %s (32T=%s, 128T=%s)\n",
               ok ? "reproduced" : "MISSING",

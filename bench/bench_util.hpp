@@ -15,6 +15,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "sweep/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sdr::bench {
@@ -68,9 +69,15 @@ class TelemetrySession {
     instance_ = nullptr;
     std::error_code ec;
     std::filesystem::create_directories(out_dir_, ec);
-    write_file("metrics.jsonl", telemetry::registry().to_jsonl());
-    write_file("trace.jsonl", telemetry::tracer().to_jsonl());
-    write_file("timeseries.csv", sampler_->to_csv());
+    // A bench that ran its grid through the sweep engine captured telemetry
+    // per trial; the merged, trial-labeled exports replace the process-wide
+    // instances (which such a run leaves empty by design).
+    write_file("metrics.jsonl", adopted_ ? sweep_metrics_jsonl_
+                                         : telemetry::registry().to_jsonl());
+    write_file("trace.jsonl", adopted_ ? sweep_trace_jsonl_
+                                       : telemetry::tracer().to_jsonl());
+    write_file("timeseries.csv",
+               adopted_ ? sweep_timeseries_csv_ : sampler_->to_csv());
     std::fprintf(stderr, "[telemetry] wrote metrics.jsonl, trace.jsonl, "
                          "timeseries.csv to %s\n", out_dir_.c_str());
     telemetry::tracer().disarm();
@@ -97,6 +104,16 @@ class TelemetrySession {
     if (instance_) instance_->attach_sampler(sim);
   }
 
+  /// Merge a sweep's per-trial telemetry into this session's output files.
+  /// May be called once per sweep; sections accumulate in call order.
+  void adopt_sweep(const sweep::SweepResult& result) {
+    if (!active_) return;
+    adopted_ = true;
+    sweep_metrics_jsonl_ += result.merged_metrics_jsonl();
+    sweep_trace_jsonl_ += result.merged_trace_jsonl();
+    sweep_timeseries_csv_ += result.merged_timeseries_csv();
+  }
+
  private:
   void write_file(const char* name, const std::string& body) {
     const std::filesystem::path path =
@@ -115,7 +132,87 @@ class TelemetrySession {
   std::string out_dir_;
   double period_s_{1e-3};
   bool active_{false};
+  bool adopted_{false};
+  std::string sweep_metrics_jsonl_;
+  std::string sweep_trace_jsonl_;
+  std::string sweep_timeseries_csv_;
   std::unique_ptr<telemetry::Sampler> sampler_;
+};
+
+/// Sweep-engine command line for grid benches. Declare after the
+/// TelemetrySession:
+///
+///   sdr::bench::TelemetrySession telemetry(&argc, argv);
+///   sdr::bench::SweepCli sweep_cli(&argc, argv);
+///   ...
+///   auto result = sweep::run_sweep(grid, sweep_cli.options(kSeed), fn);
+///   sweep_cli.finish(result);
+///
+/// Strips `--jobs=N` (worker threads, default 1; 0 = all cores) and
+/// `--sweep-out=<dir>` (write the aggregator's ordered sweep.jsonl +
+/// sweep.csv there). finish() also merges per-trial telemetry into a live
+/// TelemetrySession. Results are bit-identical at every --jobs value.
+class SweepCli {
+ public:
+  SweepCli(int* argc, char** argv) {
+    int out = 1;
+    for (int in = 1; in < *argc; ++in) {
+      const char* arg = argv[in];
+      if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        jobs_ = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+      } else if (std::strncmp(arg, "--sweep-out=", 12) == 0) {
+        out_dir_ = arg + 12;
+      } else {
+        argv[out++] = argv[in];
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+  }
+
+  unsigned jobs() const { return jobs_; }
+
+  sweep::SweepOptions options(std::uint64_t base_seed) const {
+    sweep::SweepOptions opt;
+    opt.jobs = jobs_;
+    opt.base_seed = base_seed;
+    opt.capture_telemetry = TelemetrySession::instance() != nullptr;
+    return opt;
+  }
+
+  /// Writes/appends the aggregated outputs of one finished sweep. Call once
+  /// per sweep; multi-sweep benches get concatenated sections.
+  void finish(const sweep::SweepResult& result) {
+    if (TelemetrySession* session = TelemetrySession::instance()) {
+      session->adopt_sweep(result);
+    }
+    if (out_dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    append_file("sweep.jsonl", result.to_jsonl());
+    if (sweeps_written_ > 0) append_file("sweep.csv", "\n");
+    append_file("sweep.csv", result.to_csv());
+    ++sweeps_written_;
+  }
+
+ private:
+  void append_file(const char* name, const std::string& body) {
+    const std::filesystem::path path =
+        std::filesystem::path(out_dir_) / name;
+    std::FILE* f =
+        std::fopen(path.string().c_str(), sweeps_written_ == 0 ? "w" : "a");
+    if (!f) {
+      std::fprintf(stderr, "[sweep] cannot write %s\n",
+                   path.string().c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+
+  unsigned jobs_{1};
+  std::string out_dir_;
+  int sweeps_written_{0};
 };
 
 inline void figure_header(const char* figure, const char* description,

@@ -7,6 +7,11 @@
 // expectations, and fails if any point exceeds the 5% budget. It also
 // cross-checks the O(M*p) binomial-thinning sampler against the O(M)
 // direct reference sampler.
+//
+// The main validation lattice runs on the sweep engine (`--jobs=N`); each
+// point's sampler is seeded with trial.seed() = derive_seed(kSeed, index),
+// which depends only on the grid cell — never on thread count or order —
+// so results are bit-identical at every job count.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -14,11 +19,23 @@
 #include "model/ec_model.hpp"
 #include "model/protocols.hpp"
 #include "model/sr_model.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
+namespace {
+
+model::Scheme scheme_from(const std::string& name) {
+  if (name == "SR RTO") return model::Scheme::kSrRto;
+  if (name == "SR NACK") return model::Scheme::kSrNack;
+  return model::Scheme::kEcMds;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   constexpr std::uint64_t kSeed = 0x5A11DA7E;
   constexpr int kSamples = 1000;
   bench::figure_header("Model validation (§5.1.1)",
@@ -31,36 +48,52 @@ int main(int argc, char** argv) {
   link.rtt_s = 0.025;
   link.chunk_bytes = 64 * KiB;
 
+  // Axis order mirrors the original nested loops: chunks, then drop rate,
+  // then scheme innermost.
+  sweep::ParamGrid grid;
+  grid.axis_i64("chunks", {64, 2048, 65536})
+      .axis_f64("p_drop", {1e-5, 1e-3, 1e-2})
+      .axis_str("scheme", {model::scheme_name(model::Scheme::kSrRto),
+                           model::scheme_name(model::Scheme::kSrNack),
+                           model::scheme_name(model::Scheme::kEcMds)});
+
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sweep_cli.options(kSeed), [link](sweep::Trial& trial) {
+        model::LinkParams l = link;
+        l.p_drop = trial.params().f64("p_drop");
+        const auto chunks =
+            static_cast<std::uint64_t>(trial.params().i64("chunks"));
+        const model::Scheme scheme =
+            scheme_from(trial.params().str("scheme"));
+        const double analytical =
+            model::expected_completion_s(scheme, l, chunks);
+        Rng rng(trial.seed());
+        RunningStats stats;
+        for (int i = 0; i < kSamples; ++i) {
+          stats.add(model::sample_completion_s(scheme, rng, l, chunks));
+        }
+        const double rel = std::abs(stats.mean() - analytical) /
+                           std::max(analytical, 1e-12);
+        trial.record("analytical_s", analytical);
+        trial.record("stochastic_s", stats.mean());
+        trial.record("rel_err", rel);
+        trial.record_flag("within_budget", rel <= 0.05);
+      });
+  sweep_cli.finish(result);
+
   TextTable t({"scheme", "chunks", "Pdrop", "analytical", "stochastic",
                "rel err", "<=5%"});
-  bool all_ok = true;
-  int point = 0;
-
-  auto validate = [&](model::Scheme scheme, std::uint64_t chunks, double p) {
-    link.p_drop = p;
-    const double analytical =
-        model::expected_completion_s(scheme, link, chunks);
-    Rng rng(kSeed + (point++) * 7919);
-    RunningStats stats;
-    for (int i = 0; i < kSamples; ++i) {
-      stats.add(model::sample_completion_s(scheme, rng, link, chunks));
-    }
-    const double rel =
-        std::abs(stats.mean() - analytical) / std::max(analytical, 1e-12);
+  bool all_ok = result.failures() == 0;
+  for (const sweep::TrialRecord& rec : result.trials) {
+    const sweep::ParamPoint point = grid.point(rec.index);
+    const double rel = rec.f64("rel_err", 1.0);
     const bool ok = rel <= 0.05;
     all_ok = all_ok && ok;
-    t.add_row({model::scheme_name(scheme), std::to_string(chunks),
-               TextTable::sci(p, 0), format_seconds(analytical),
-               format_seconds(stats.mean()),
+    t.add_row({point.str("scheme"), std::to_string(point.i64("chunks")),
+               TextTable::sci(point.f64("p_drop"), 0),
+               format_seconds(rec.f64("analytical_s")),
+               format_seconds(rec.f64("stochastic_s")),
                TextTable::num(rel * 100.0, 2) + "%", ok ? "yes" : "NO"});
-  };
-
-  for (const std::uint64_t chunks : {64ull, 2048ull, 65536ull}) {
-    for (const double p : {1e-5, 1e-3, 1e-2}) {
-      validate(model::Scheme::kSrRto, chunks, p);
-      validate(model::Scheme::kSrNack, chunks, p);
-      validate(model::Scheme::kEcMds, chunks, p);
-    }
   }
   t.print();
 

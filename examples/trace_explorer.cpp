@@ -79,8 +79,14 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
   const std::size_t bytes = kib * KiB;
 
-  telemetry::registry().enable();
-  telemetry::tracer().arm();
+  // Run-scoped telemetry: local instances installed for this run only, so
+  // an embedding process (or another run in the same process) never sees
+  // this run's metrics, and nothing mutates the process-wide default.
+  telemetry::Registry registry;
+  telemetry::Tracer tracer;
+  registry.enable();
+  tracer.arm();
+  telemetry::ScopedTelemetry scoped(&registry, &tracer);
 
   sim::Simulator sim;
   sim::Channel::Config link;

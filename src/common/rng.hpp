@@ -14,13 +14,31 @@
 
 namespace sdr {
 
-/// SplitMix64: used only to expand a 64-bit seed into Xoshiro state.
-constexpr std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
+/// SplitMix64 output function (the finalizer applied to each state word).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// The additive constant of the SplitMix64 stream (golden-ratio increment).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ULL;
+
+/// SplitMix64: used only to expand a 64-bit seed into Xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += kSplitMix64Gamma;
+  return splitmix64_mix(state);
+}
+
+/// Per-trial / per-stream seed derivation: element `index + 1` of the
+/// SplitMix64 stream seeded with `base_seed`, computed in O(1) by jumping
+/// the state. Trials seeded with derive_seed(base, 0), derive_seed(base, 1),
+/// ... get uncorrelated generators whose values depend only on (base, index)
+/// — never on thread count, scheduling, or evaluation order. The sweep
+/// engine (src/sweep/) relies on this for bit-identical parallel results.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t trial_index) {
+  return splitmix64_mix(base_seed + (trial_index + 1) * kSplitMix64Gamma);
 }
 
 /// Xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.

@@ -6,11 +6,24 @@
 
 namespace sdr::ec {
 
+namespace {
+
+// std::lgamma writes the process-global `signgam` — a data race when
+// parallel sweep trials evaluate completion models concurrently. The
+// argument here is always x >= 1, where the gamma function is positive, so
+// the sign output of the reentrant lgamma_r can be discarded.
+double lgamma_threadsafe(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
+}  // namespace
+
 double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(k) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(n - k) + 1.0);
 }
 
 double binomial_pmf(std::uint64_t n, std::uint64_t x, double p) {

@@ -1,0 +1,165 @@
+// Parameter grids for the deterministic sweep engine.
+//
+// A ParamGrid is the cartesian product of named, typed axes — exactly the
+// shape of the paper's evaluation: Fig 9's message-size x drop-rate heatmap,
+// Fig 12's distance x bandwidth grid, the §5.1.1 (size, drop, scheme)
+// validation lattice. Cells are addressed by a single linear index with the
+// LAST axis varying fastest, so iterating indices 0..size()-1 visits cells
+// in the same order as the nested for-loops the serial benches used — the
+// aggregator's "identical to serial emit order" guarantee rests on this.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sdr::sweep {
+
+/// One typed axis value. The variant is deliberately small: everything the
+/// benches sweep is an integer (bytes, chunks, threads), a real (drop rate,
+/// bandwidth), a name (scheme), or a switch (bursty on/off).
+using ParamValue = std::variant<std::int64_t, double, std::string, bool>;
+
+/// Renders a value the way the aggregator serializes it: integers as
+/// decimal, doubles with "%.10g" (matching telemetry exports), bools as
+/// true/false, strings verbatim.
+std::string to_string(const ParamValue& value);
+
+/// Same, but a valid JSON token (strings quoted and escaped).
+std::string to_json(const ParamValue& value);
+
+struct Axis {
+  std::string name;
+  std::vector<ParamValue> values;
+};
+
+/// One materialized grid cell: the (name, value) pairs of every axis at
+/// this cell's coordinates, plus the cell's linear index.
+class ParamPoint {
+ public:
+  ParamPoint() = default;
+  ParamPoint(std::size_t index,
+             std::vector<std::pair<std::string, ParamValue>> entries)
+      : index_(index), entries_(std::move(entries)) {}
+
+  std::size_t index() const { return index_; }
+  std::size_t size() const { return entries_.size(); }
+  const std::pair<std::string, ParamValue>& at(std::size_t i) const {
+    return entries_[i];
+  }
+  bool has(const std::string& name) const { return find(name) != nullptr; }
+
+  /// Typed getters; throw std::out_of_range on a missing name and
+  /// std::bad_variant_access on a type mismatch — a sweep over a mistyped
+  /// axis should fail loudly (and be captured per trial), not read garbage.
+  std::int64_t i64(const std::string& name) const {
+    return std::get<std::int64_t>(value(name));
+  }
+  double f64(const std::string& name) const {
+    return std::get<double>(value(name));
+  }
+  const std::string& str(const std::string& name) const {
+    return std::get<std::string>(value(name));
+  }
+  bool flag(const std::string& name) const {
+    return std::get<bool>(value(name));
+  }
+
+  const ParamValue& value(const std::string& name) const {
+    const ParamValue* v = find(name);
+    if (v == nullptr) {
+      throw std::out_of_range("ParamPoint: no axis named \"" + name + "\"");
+    }
+    return *v;
+  }
+
+  /// "bytes=65536 p_drop=1e-05" — deterministic axis order.
+  std::string to_string() const;
+  /// {"bytes":65536,"p_drop":1e-05} — deterministic axis order.
+  std::string to_json() const;
+
+ private:
+  const ParamValue* find(const std::string& name) const {
+    for (const auto& [key, val] : entries_) {
+      if (key == name) return &val;
+    }
+    return nullptr;
+  }
+
+  std::size_t index_{0};
+  std::vector<std::pair<std::string, ParamValue>> entries_;
+};
+
+class ParamGrid {
+ public:
+  /// Axes are swept with the LAST added axis varying fastest (row-major),
+  /// mirroring nested loops where the first axis is the outermost.
+  ParamGrid& axis(std::string name, std::vector<ParamValue> values) {
+    axes_.push_back(Axis{std::move(name), std::move(values)});
+    return *this;
+  }
+  ParamGrid& axis_i64(std::string name, std::vector<std::int64_t> values) {
+    return axis_typed(std::move(name), std::move(values));
+  }
+  ParamGrid& axis_f64(std::string name, std::vector<double> values) {
+    return axis_typed(std::move(name), std::move(values));
+  }
+  ParamGrid& axis_str(std::string name, std::vector<std::string> values) {
+    return axis_typed(std::move(name), std::move(values));
+  }
+  ParamGrid& axis_flag(std::string name, std::vector<bool> values) {
+    Axis a{std::move(name), {}};
+    a.values.reserve(values.size());
+    for (const bool v : values) a.values.emplace_back(v);
+    axes_.push_back(std::move(a));
+    return *this;
+  }
+
+  std::size_t axes() const { return axes_.size(); }
+  const Axis& axis_at(std::size_t i) const { return axes_[i]; }
+
+  /// Number of cells: the product of axis lengths. A grid with no axes or
+  /// with any empty axis has zero cells — an empty sweep, not an error.
+  std::size_t size() const {
+    if (axes_.empty()) return 0;
+    std::size_t n = 1;
+    for (const Axis& a : axes_) n *= a.values.size();
+    return n;
+  }
+
+  /// Materialize cell `index` (0 <= index < size()).
+  ParamPoint point(std::size_t index) const {
+    std::vector<std::pair<std::string, ParamValue>> entries;
+    entries.reserve(axes_.size());
+    std::size_t rest = index;
+    // Peel from the last (fastest) axis; build entries in axis order.
+    std::vector<std::size_t> coords(axes_.size(), 0);
+    for (std::size_t i = axes_.size(); i-- > 0;) {
+      const std::size_t len = axes_[i].values.size();
+      coords[i] = rest % len;
+      rest /= len;
+    }
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      entries.emplace_back(axes_[i].name, axes_[i].values[coords[i]]);
+    }
+    return ParamPoint{index, std::move(entries)};
+  }
+
+ private:
+  template <class T>
+  ParamGrid& axis_typed(std::string name, std::vector<T> values) {
+    Axis a{std::move(name), {}};
+    a.values.reserve(values.size());
+    for (auto& v : values) a.values.emplace_back(std::move(v));
+    axes_.push_back(std::move(a));
+    return *this;
+  }
+
+  std::vector<Axis> axes_;
+};
+
+}  // namespace sdr::sweep

@@ -8,8 +8,19 @@
 namespace sdr::telemetry {
 
 namespace detail {
-bool g_metrics_on = false;
+thread_local bool g_metrics_on = false;
 }  // namespace detail
+
+namespace {
+
+Registry& default_registry() {
+  static Registry instance;
+  return instance;
+}
+
+thread_local Registry* t_registry = nullptr;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -312,8 +323,14 @@ void Scope::bind_histogram(const char* name, const Histogram* hist) {
 // ---------------------------------------------------------------------------
 
 Registry& registry() {
-  static Registry instance;
-  return instance;
+  return t_registry != nullptr ? *t_registry : default_registry();
+}
+
+Registry* set_thread_registry(Registry* r) {
+  Registry* prev = t_registry;
+  t_registry = r;
+  detail::g_metrics_on = registry().enabled();
+  return prev;
 }
 
 }  // namespace sdr::telemetry

@@ -23,6 +23,11 @@
 //
 // Threading: the registry serves the single-threaded simulator path (like
 // the rest of the sim stack); the threaded DPA engine keeps its own atomics.
+// The "global" accessors registry()/tracer() are per *thread*: each thread
+// resolves them to its own installed instance (set_thread_registry /
+// ScopedTelemetry), falling back to the process-wide default. The sweep
+// engine installs one private Registry+Tracer per trial, so parallel trials
+// never share telemetry state and registration/freeze need no locks.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +42,9 @@
 namespace sdr::telemetry {
 
 namespace detail {
-extern bool g_metrics_on;  // mirrored by Registry::enable/disable
+// Mirrors the *current thread's* registry enabled state (kept in sync by
+// Registry::enable/disable and set_thread_registry).
+extern thread_local bool g_metrics_on;
 }  // namespace detail
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -215,10 +222,17 @@ class Scope {
   std::vector<std::uint64_t> ids_;
 };
 
-/// Process-wide registry used by the instrumented stack.
+/// The calling thread's current registry: the instance installed with
+/// set_thread_registry, or the process-wide default when none is installed.
 Registry& registry();
 
-/// True when the global registry accepts registrations.
+/// Install `r` as the calling thread's current registry (nullptr restores
+/// the process-wide default) and resync detail::g_metrics_on to it. Returns
+/// the previously installed override so callers can nest/restore; prefer
+/// the ScopedTelemetry RAII guard (telemetry.hpp).
+Registry* set_thread_registry(Registry* r);
+
+/// True when the calling thread's registry accepts registrations.
 inline bool enabled() { return detail::g_metrics_on; }
 
 }  // namespace sdr::telemetry

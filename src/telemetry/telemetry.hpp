@@ -13,8 +13,41 @@
 //
 // See src/telemetry/registry.hpp for the zero-overhead-when-disabled
 // contract.
+// Both accessors resolve per thread: ScopedTelemetry below installs a
+// private Registry/Tracer pair as the calling thread's current instances,
+// which is how the sweep engine (src/sweep/) gives every trial fully
+// isolated telemetry with no shared globals.
 #pragma once
 
 #include "telemetry/registry.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
+
+namespace sdr::telemetry {
+
+/// RAII guard: makes `reg`/`trc` the calling thread's current registry and
+/// tracer for the guard's lifetime (either may be nullptr to fall back to
+/// the process-wide default). Restores the previous installation — guards
+/// nest. Everything the guarded code registers or emits through
+/// telemetry::registry()/tracer() lands in the scoped instances, so
+/// concurrent scopes on different threads cannot interleave.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry(Registry* reg, Tracer* trc)
+      : prev_registry_(set_thread_registry(reg)),
+        prev_tracer_(set_thread_tracer(trc)) {}
+
+  ~ScopedTelemetry() {
+    set_thread_tracer(prev_tracer_);
+    set_thread_registry(prev_registry_);
+  }
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  Registry* prev_registry_;
+  Tracer* prev_tracer_;
+};
+
+}  // namespace sdr::telemetry

@@ -8,8 +8,19 @@
 namespace sdr::telemetry {
 
 namespace detail {
-bool g_tracing_on = false;
+thread_local bool g_tracing_on = false;
 }  // namespace detail
+
+namespace {
+
+Tracer& default_tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+thread_local Tracer* t_tracer = nullptr;
+
+}  // namespace
 
 const char* to_string(TraceEventType type) {
   switch (type) {
@@ -146,8 +157,14 @@ std::string Tracer::to_jsonl(const std::vector<TraceEvent>& events) {
 }
 
 Tracer& tracer() {
-  static Tracer instance;
-  return instance;
+  return t_tracer != nullptr ? *t_tracer : default_tracer();
+}
+
+Tracer* set_thread_tracer(Tracer* t) {
+  Tracer* prev = t_tracer;
+  t_tracer = t;
+  detail::g_tracing_on = tracer().armed();
+  return prev;
 }
 
 }  // namespace sdr::telemetry

@@ -26,7 +26,9 @@
 namespace sdr::telemetry {
 
 namespace detail {
-extern bool g_tracing_on;  // mirrored by Tracer::arm/disarm
+// Mirrors the *current thread's* tracer armed state (kept in sync by
+// Tracer::arm/disarm and set_thread_tracer).
+extern thread_local bool g_tracing_on;
 }  // namespace detail
 
 /// Sentinels for fields an event's layer cannot know.
@@ -148,10 +150,16 @@ class Tracer {
   std::uint64_t overwritten_{0};
 };
 
-/// Process-wide tracer used by the instrumented stack.
+/// The calling thread's current tracer: the instance installed with
+/// set_thread_tracer, or the process-wide default when none is installed.
 Tracer& tracer();
 
-/// True when the global tracer accepts events; one predictable branch.
+/// Install `t` as the calling thread's current tracer (nullptr restores the
+/// process-wide default) and resync detail::g_tracing_on to it. Returns the
+/// previous override; prefer the ScopedTelemetry RAII guard (telemetry.hpp).
+Tracer* set_thread_tracer(Tracer* t);
+
+/// True when this thread's tracer accepts events; one predictable branch.
 inline bool tracing() { return detail::g_tracing_on; }
 
 }  // namespace sdr::telemetry

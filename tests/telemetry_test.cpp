@@ -9,6 +9,7 @@
 #include <cstring>
 #include <memory>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -378,6 +379,60 @@ TEST_F(TelemetryStackTest, TracerRingIsBoundedAndOverwritesOldest) {
 }
 
 // --- satellite: Histogram / RunningStats edge cases ----------------------
+
+TEST(ThreadScopedTelemetryTest, ThreadsWithOwnInstancesNeverCrossWire) {
+  // Two threads each install a private Registry/Tracer via ScopedTelemetry
+  // and hammer identically named metrics. With any shared state the counts,
+  // instance names, or trace rings would interleave; per-thread resolution
+  // keeps every observation local, and the process-wide default stays
+  // untouched throughout.
+  Registry& process_default = registry();
+  ASSERT_FALSE(process_default.enabled());
+
+  constexpr int kIters = 5000;
+  struct Outcome {
+    std::uint64_t count{0};
+    std::size_t traces{0};
+    std::string instance0;
+    bool saw_own_registry{false};
+  };
+  Outcome outcomes[2];
+  auto body = [&](int id) {
+    Registry reg;
+    Tracer trc;
+    reg.enable();
+    trc.arm(1u << 14);  // holds both threads' full event streams
+
+    ScopedTelemetry scoped(&reg, &trc);
+    outcomes[id].saw_own_registry = (&registry() == &reg) && enabled();
+    outcomes[id].instance0 = registry().instance_name("sim.channel");
+    auto c = registry().counter("contended.name");
+    for (int i = 0; i < kIters * (id + 1); ++i) {
+      c.inc();
+      if (tracing()) {
+        tracer().emit(SimTime::from_seconds(i * 1e-6),
+                      TraceEventType::kTx, static_cast<std::uint32_t>(id));
+      }
+    }
+    outcomes[id].count = reg.counter_value("contended.name");
+    outcomes[id].traces = trc.size();
+  };
+  std::thread t0(body, 0), t1(body, 1);
+  t0.join();
+  t1.join();
+
+  for (int id = 0; id < 2; ++id) {
+    EXPECT_TRUE(outcomes[id].saw_own_registry) << id;
+    EXPECT_EQ(outcomes[id].instance0, "sim.channel0") << id;
+    EXPECT_EQ(outcomes[id].count,
+              static_cast<std::uint64_t>(kIters * (id + 1))) << id;
+    EXPECT_EQ(outcomes[id].traces,
+              static_cast<std::size_t>(kIters * (id + 1))) << id;
+  }
+  EXPECT_FALSE(process_default.enabled());
+  EXPECT_FALSE(process_default.has("contended.name"));
+  EXPECT_EQ(&registry(), &process_default);
+}
 
 TEST(HistogramEdgeCases, MergeEmptyIsIdentity) {
   Histogram a(1e-6, 10.0);
