@@ -9,6 +9,10 @@
 // reflects switch buffering along the path") exists precisely for the
 // queueing delay this setup creates, so the bench also reports EC with a
 // too-small beta.
+//
+// The calibration probe runs serially (everything depends on its measured
+// loss); the 3 schemes x 2 loss-process grid then runs on the sweep engine
+// (`--jobs=N`) with bit-identical output at any job count.
 #include <cstdio>
 #include <cstring>
 #include <algorithm>
@@ -19,6 +23,7 @@
 #include "reliability/reliable_channel.hpp"
 #include "sim/cross_traffic.hpp"
 #include "sim/simulator.hpp"
+#include "sweep/sweep.hpp"
 #include "verbs/nic.hpp"
 
 using namespace sdr;  // NOLINT
@@ -32,10 +37,17 @@ struct RunStats {
   bool ok{false};
 };
 
+// `trial` is null for the serial calibration probe (live-session telemetry)
+// and non-null inside sweep cells (per-trial private telemetry).
 RunStats run(reliability::ReliableChannel::Kind kind, bool congested,
-             double iid_equivalent_loss, double ec_beta) {
+             double iid_equivalent_loss, double ec_beta,
+             sweep::Trial* trial = nullptr) {
   sim::Simulator sim;
-  bench::TelemetrySession::attach(sim);
+  if (trial != nullptr) {
+    trial->attach_sampler(sim);
+  } else {
+    bench::TelemetrySession::attach(sim);
+  }
   // Two-stage forward path: the sender NIC's serializer paces the
   // foreground to line rate (unbounded queue, negligible distance), then a
   // SWITCH egress with a bounded buffer carries it across the long haul.
@@ -139,6 +151,7 @@ RunStats run(reliability::ReliableChannel::Kind kind, bool congested,
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Ablation: emergent congestion vs i.i.d. loss",
                        "8 MiB reliable Writes sharing a 100G link with "
                        "bursty cross traffic and a 2 MiB switch buffer");
@@ -157,8 +170,6 @@ int main(int argc, char** argv) {
               loss, static_cast<unsigned long long>(probe.retransmissions),
               probe.measured_loss);
 
-  TextTable t({"scheme", "loss process", "mean completion",
-               "retransmissions", "delivered"});
   struct Case {
     const char* name;
     reliability::ReliableChannel::Kind kind;
@@ -171,12 +182,36 @@ int main(int argc, char** argv) {
       {"EC MDS(32,8) beta=2.0", reliability::ReliableChannel::Kind::kEcMds,
        2.0},
   };
+
+  // Last axis (congested) varies fastest: cell order == the old loops.
+  sweep::ParamGrid grid;
+  grid.axis_i64("case", {0, 1, 2}).axis_flag("congested", {true, false});
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sweep_cli.options(0xAB1AC049), [&](sweep::Trial& trial) {
+        const Case& c =
+            cases[static_cast<std::size_t>(trial.params().i64("case"))];
+        const RunStats s = run(c.kind, trial.params().flag("congested"), loss,
+                               c.beta, &trial);
+        trial.record("completion_s", s.completion_s);
+        trial.record("retransmissions",
+                     static_cast<std::int64_t>(s.retransmissions));
+        trial.record_flag("delivered", s.ok);
+      });
+  sweep_cli.finish(result);
+
+  TextTable t({"scheme", "loss process", "mean completion",
+               "retransmissions", "delivered"});
+  std::size_t trial_index = 0;
   for (const Case& c : cases) {
     for (const bool congested : {true, false}) {
-      const RunStats s = run(c.kind, congested, loss, c.beta);
+      const sweep::TrialRecord& rec = result.at(trial_index++);
+      const sweep::TrialRecord::Value* retrans = rec.find("retransmissions");
+      const sweep::TrialRecord::Value* delivered = rec.find("delivered");
       t.add_row({c.name, congested ? "emergent congestion" : "i.i.d.",
-                 format_seconds(s.completion_s),
-                 std::to_string(s.retransmissions), s.ok ? "yes" : "NO"});
+                 format_seconds(rec.f64("completion_s")),
+                 retrans != nullptr ? retrans->csv : "0",
+                 delivered != nullptr && delivered->csv == "true" ? "yes"
+                                                                  : "NO"});
     }
   }
   t.print();

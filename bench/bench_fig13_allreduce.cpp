@@ -5,10 +5,14 @@
 // Paper shape: EC's tail speedup grows with drop rate from ~3x to >6x; the
 // multi-stage schedule (2N-2 dependent steps) amplifies per-step
 // reliability costs (Appendix C).
+//
+// Each panel's grid runs on the sweep engine (`--jobs=N`); tables replay
+// the records in grid order, so output is bit-identical at any job count.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "model/allreduce_model.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace sdr;  // NOLINT
 
@@ -38,21 +42,36 @@ double tail_speedup(std::uint64_t datacenters, std::uint64_t buffer_bytes,
 
 int main(int argc, char** argv) {
   bench::TelemetrySession telemetry(&argc, argv);
+  bench::SweepCli sweep_cli(&argc, argv);
   bench::figure_header("Figure 13",
                        "ring Allreduce p99.9 speedup, MDS EC over SR RTO "
                        "(400G links, 25 ms RTT per hop)",
                        kSeed);
 
-  const double drops[] = {1e-6, 1e-5, 1e-4, 1e-3};
-  double max_speedup = 0.0, min_speedup = 1e9;
+  const std::vector<double> drops = {1e-6, 1e-5, 1e-4, 1e-3};
+  double max_speedup = 0.0;
 
   {
     std::printf("\n--- left: 128 MiB buffer, datacenter sweep ---\n");
+    sweep::ParamGrid grid;
+    grid.axis_i64("datacenters", {2, 4, 8, 16}).axis_f64("p_drop", drops);
+    const sweep::SweepResult result = sweep::run_sweep(
+        grid, sweep_cli.options(kSeed), [](sweep::Trial& trial) {
+          trial.record(
+              "speedup",
+              tail_speedup(
+                  static_cast<std::uint64_t>(trial.params().i64("datacenters")),
+                  128ull << 20, trial.params().f64("p_drop")));
+        });
+    sweep_cli.finish(result);
+    if (result.failures() != 0) return 1;
+
     TextTable t({"datacenters", "p=1e-6", "p=1e-5", "p=1e-4", "p=1e-3"});
+    std::size_t trial_index = 0;
     for (const std::uint64_t n : {2ull, 4ull, 8ull, 16ull}) {
       std::vector<std::string> row = {std::to_string(n)};
-      for (const double p : drops) {
-        const double s = tail_speedup(n, 128ull << 20, p);
+      for (std::size_t p = 0; p < drops.size(); ++p) {
+        const double s = result.at(trial_index++).f64("speedup");
         row.push_back(bench::speedup_cell(s));
         max_speedup = std::max(max_speedup, s);
       }
@@ -62,14 +81,29 @@ int main(int argc, char** argv) {
   }
   {
     std::printf("\n--- right: 4 datacenters, buffer-size sweep ---\n");
+    sweep::ParamGrid grid;
+    grid.axis_i64("buffer_mib", {32, 128, 512, 2048}).axis_f64("p_drop", drops);
+    const sweep::SweepResult result = sweep::run_sweep(
+        grid, sweep_cli.options(kSeed + 0x100), [](sweep::Trial& trial) {
+          trial.record(
+              "speedup",
+              tail_speedup(
+                  4,
+                  static_cast<std::uint64_t>(trial.params().i64("buffer_mib"))
+                      << 20,
+                  trial.params().f64("p_drop")));
+        });
+    sweep_cli.finish(result);
+    if (result.failures() != 0) return 1;
+
     TextTable t({"buffer", "p=1e-6", "p=1e-5", "p=1e-4", "p=1e-3"});
+    std::size_t trial_index = 0;
     for (const std::uint64_t mib : {32ull, 128ull, 512ull, 2048ull}) {
       std::vector<std::string> row = {format_bytes(mib << 20)};
-      for (const double p : drops) {
-        const double s = tail_speedup(4, mib << 20, p);
+      for (std::size_t p = 0; p < drops.size(); ++p) {
+        const double s = result.at(trial_index++).f64("speedup");
         row.push_back(bench::speedup_cell(s));
         max_speedup = std::max(max_speedup, s);
-        if (p >= 1e-4) min_speedup = std::min(min_speedup, s);
       }
       t.add_row(std::move(row));
     }

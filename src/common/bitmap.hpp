@@ -88,10 +88,23 @@ class Bitmap {
 
   /// Append the zero-bit indices within [begin, end) to `out`.
   /// Used by SR receivers/EC decoders to enumerate missing chunks.
+  /// Word scan: skips fully-set words in one compare instead of 64 tests.
   void collect_zeros(std::size_t begin, std::size_t end,
                      std::vector<std::size_t>& out) const {
-    for (std::size_t i = begin; i < end && i < bits_; ++i) {
-      if (!test(i)) out.push_back(i);
+    end = std::min(end, bits_);
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t wi = i >> 6;
+      const std::size_t word_base = wi << 6;
+      std::uint64_t missing = ~words_[wi] & (~0ULL << (i & 63));
+      while (missing != 0) {
+        const std::size_t bit =
+            word_base + static_cast<std::size_t>(__builtin_ctzll(missing));
+        if (bit >= end) break;
+        out.push_back(bit);
+        missing &= missing - 1;
+      }
+      i = word_base + 64;
     }
   }
 
@@ -183,10 +196,19 @@ class AtomicBitmap {
   std::size_t word_count() const { return words_.size(); }
 
   /// First zero bit among the low `limit` bits (cumulative-ACK helper),
-  /// or `limit` if they are all set.
+  /// or `limit` if they are all set. Word scan: the SR receiver calls this
+  /// on every ACK/NACK construction, so the per-bit version was O(chunks)
+  /// atomic loads per control message.
   std::size_t first_zero(std::size_t limit) const {
-    for (std::size_t i = 0; i < limit; ++i) {
-      if (!test(i)) return i;
+    const std::size_t nwords = bitmap_words(limit);
+    for (std::size_t wi = 0; wi < nwords; ++wi) {
+      const std::uint64_t inverted =
+          ~words_[wi].load(std::memory_order_acquire);
+      if (inverted != 0) {
+        const std::size_t bit =
+            (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(inverted));
+        return bit < limit ? bit : limit;
+      }
     }
     return limit;
   }

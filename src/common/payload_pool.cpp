@@ -1,0 +1,58 @@
+#include "common/payload_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sdr::common {
+
+namespace {
+// Most pooled payloads are control-path datagrams well under one MTU;
+// rounding capacities up lets the free list satisfy any request without
+// per-size buckets.
+constexpr std::uint32_t kMinSlotBytes = 4096;
+}  // namespace
+
+std::uint32_t PayloadPool::acquire(const std::uint8_t* src,
+                                   std::uint32_t len) {
+  std::uint32_t index;
+  if (free_head_ != kNil) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+    if (slots_[index].capacity < len) {
+      slots_[index].bytes.reset(new std::uint8_t[len]);
+      slots_[index].capacity = len;
+    }
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    const std::uint32_t cap = std::max(len, kMinSlotBytes);
+    slots_[index].bytes.reset(new std::uint8_t[cap]);
+    slots_[index].capacity = cap;
+  }
+  slots_[index].refs = 1;
+  slots_[index].next_free = kNil;
+  if (len > 0 && src != nullptr) {
+    std::memcpy(slots_[index].bytes.get(), src, len);
+  }
+  ++live_;
+  return index;
+}
+
+PayloadPool& payload_pool() {
+  thread_local PayloadPool pool;
+  return pool;
+}
+
+PayloadRef PayloadRef::pooled_copy(const std::uint8_t* data,
+                                   std::size_t len) {
+  PayloadRef ref;
+  if (len == 0) return ref;
+  PayloadPool& pool = payload_pool();
+  ref.slot_ = pool.acquire(data, static_cast<std::uint32_t>(len));
+  ref.pool_ = &pool;
+  ref.data_ = pool.data(ref.slot_);
+  ref.len_ = static_cast<std::uint32_t>(len);
+  return ref;
+}
+
+}  // namespace sdr::common

@@ -1,0 +1,64 @@
+// RingBuffer: a FIFO over a power-of-two array that never releases its
+// storage. std::deque frees blocks as elements pop, so steady-state
+// push/pop cycles — the RC unacked window, posted-receive queues — pay the
+// allocator every few entries; this ring grows to the high-water mark once
+// and is allocation-free from then on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sdr::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  void push_back(T value) {
+    if (tail_ - head_ == ring_.size()) grow();
+    ring_[tail_ & mask_] = std::move(value);
+    ++tail_;
+  }
+
+  T& front() { return ring_[head_ & mask_]; }
+  const T& front() const { return ring_[head_ & mask_]; }
+  void pop_front() {
+    // Reset the slot so popped elements release resources (payload refs)
+    // now, not when the slot is next overwritten.
+    ring_[head_ & mask_] = T{};
+    ++head_;
+  }
+
+  /// i-th element counted from the front.
+  T& operator[](std::size_t i) { return ring_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const {
+    return ring_[(head_ + i) & mask_];
+  }
+
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  bool empty() const { return head_ == tail_; }
+  void clear() {
+    for (std::uint64_t i = head_; i != tail_; ++i) ring_[i & mask_] = T{};
+    head_ = tail_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t old_size = ring_.size();
+    const std::size_t new_size = old_size == 0 ? 16 : old_size * 2;
+    std::vector<T> next(new_size);
+    for (std::uint64_t i = head_; i != tail_; ++i) {
+      next[i & (new_size - 1)] = std::move(ring_[i & mask_]);
+    }
+    ring_ = std::move(next);
+    mask_ = new_size - 1;
+  }
+
+  std::vector<T> ring_;
+  std::size_t mask_{0};
+  std::uint64_t head_{0};
+  std::uint64_t tail_{0};
+};
+
+}  // namespace sdr::common

@@ -73,18 +73,26 @@ void Engine::process(core::MessageTable& table, const core::ImmCodec& codec,
 void Engine::worker_loop(std::size_t index) {
   CompletionRing& ring = *rings_[index];
   WorkerStats& stats = *stats_[index];
-  RawCqe cqe;
+  constexpr std::size_t kBatch = 64;
+  RawCqe batch[kBatch];
   while (true) {
-    bool did_work = false;
-    // Drain in batches to amortize the atomic index traffic.
-    for (int batch = 0; batch < 256 && ring.pop(cqe); ++batch) {
-      process(table_, codec_, cqe, stats);
-      did_work = true;
-    }
-    if (!did_work) {
+    // Drain in batches: one acquire/release pair per kBatch CQEs instead
+    // of per CQE, and stats accumulate in locals so the shared counters
+    // are written once per batch.
+    std::size_t n = ring.pop_batch(batch, kBatch);
+    if (n == 0) {
       if (stopping_.load(std::memory_order_acquire) && ring.empty()) return;
       std::this_thread::yield();
+      continue;
     }
+    WorkerStats local;
+    for (std::size_t i = 0; i < n; ++i) {
+      process(table_, codec_, batch[i], local);
+    }
+    stats.processed += local.processed;
+    stats.chunks_completed += local.chunks_completed;
+    stats.messages_completed += local.messages_completed;
+    stats.discarded += local.discarded;
   }
 }
 

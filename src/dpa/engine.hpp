@@ -21,7 +21,10 @@
 
 namespace sdr::dpa {
 
-struct WorkerStats {
+// alignas(64): each worker increments its own stats on every CQE; the
+// per-worker blocks are heap-allocated and, at 32 bytes, two workers'
+// counters can otherwise land on one cache line and ping-pong it.
+struct alignas(64) WorkerStats {
   std::uint64_t processed{0};
   std::uint64_t chunks_completed{0};
   std::uint64_t messages_completed{0};

@@ -52,6 +52,22 @@ class CompletionRing {
     return true;
   }
 
+  /// Consumer: drain up to `max` completions with one acquire of the
+  /// producer index and one release of the consumer index, instead of an
+  /// atomic round-trip per CQE. Returns the number copied out.
+  std::size_t pop_batch(RawCqe* out, std::size_t max) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t avail = head - tail;
+    if (avail == 0) return 0;
+    if (avail > max) avail = max;
+    for (std::uint64_t i = 0; i < avail; ++i) {
+      out[i] = entries_[(tail + i) & mask_];
+    }
+    tail_.store(tail + avail, std::memory_order_release);
+    return static_cast<std::size_t>(avail);
+  }
+
   std::size_t size() const {
     return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
                                     tail_.load(std::memory_order_acquire));
@@ -60,9 +76,14 @@ class CompletionRing {
   std::size_t capacity() const { return mask_ + 1; }
 
  private:
+  // Index layout: producer-written head_, consumer-written tail_, and the
+  // shared read-only fields (mask_, the vector header) each get their own
+  // cache line. Without the third alignas, mask_/entries_ land on tail_'s
+  // line and every producer-side read of them is a false-sharing miss
+  // against the consumer's tail_ stores.
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
-  std::size_t mask_;
+  alignas(64) std::size_t mask_;
   std::vector<RawCqe> entries_;
 };
 

@@ -1,6 +1,7 @@
 #include "reliability/ec_protocol.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/logging.hpp"
@@ -218,13 +219,16 @@ void EcSender::apply_fallback_ack(MsgState& msg, std::uint64_t base,
     }
   };
   for (std::size_t c = 0; c < cumulative; ++c) mark(c);
+  // Word scan: countr_zero hops between acked chunks instead of testing
+  // all 64 bit positions per selective word.
   for (std::size_t w = 0; w < ack.selective.size(); ++w) {
-    const std::uint64_t word = ack.selective[w];
-    for (unsigned b = 0; b < 64 && word != 0; ++b) {
-      if ((word >> b) & 1ULL) {
-        const std::size_t c = ack.selective_base + w * 64 + b;
-        if (c < config_.k) mark(c);
-      }
+    std::uint64_t word = ack.selective[w];
+    const std::size_t base = ack.selective_base + w * 64;
+    while (word != 0) {
+      const std::size_t c =
+          base + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (c < config_.k) mark(c);
     }
   }
   if (msg.acked[sub].all_set()) {
@@ -522,6 +526,7 @@ void EcReceiver::send_fallback_acks(MsgState& msg, std::uint64_t base) {
     ack.msg_number = msg.data_handles[s]->msg_number();
     ack.cumulative = static_cast<std::uint32_t>(bits->first_zero(config_.k));
     ack.selective_base = 0;
+    ack.selective.reserve(bitmap_words(config_.k));
     for (std::size_t w = 0; w < bitmap_words(config_.k); ++w) {
       ack.selective.push_back(bits->load_word(w));
     }

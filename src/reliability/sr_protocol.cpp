@@ -1,6 +1,7 @@
 #include "reliability/sr_protocol.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/logging.hpp"
@@ -188,14 +189,17 @@ void SrSender::apply_ack(MsgState& msg, const ControlMessage& ack) {
   const std::size_t cumulative =
       std::min<std::size_t>(ack.cumulative, msg.chunks);
   for (std::size_t c = 0; c < cumulative; ++c) mark_acked(msg, c);
+  // Word scan over the selective window: countr_zero jumps straight to the
+  // next set bit; clearing it with `word & (word - 1)` makes the loop cost
+  // proportional to acked chunks, not window width.
   for (std::size_t w = 0; w < ack.selective.size(); ++w) {
-    const std::uint64_t word = ack.selective[w];
-    if (word == 0) continue;
-    for (unsigned b = 0; b < 64; ++b) {
-      if ((word >> b) & 1ULL) {
-        const std::size_t chunk = ack.selective_base + w * 64 + b;
-        if (chunk < msg.chunks) mark_acked(msg, chunk);
-      }
+    std::uint64_t word = ack.selective[w];
+    const std::size_t base = ack.selective_base + w * 64;
+    while (word != 0) {
+      const std::size_t chunk =
+          base + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (chunk < msg.chunks) mark_acked(msg, chunk);
     }
   }
 }
@@ -305,6 +309,7 @@ void SrReceiver::send_ack(MsgState& msg) {
   // Selective window: words starting at the cumulative point.
   const std::size_t base_word = cumulative / 64;
   ack.selective_base = static_cast<std::uint32_t>(base_word * 64);
+  ack.selective.reserve(config_.selective_window_words);
   for (std::size_t w = 0; w < config_.selective_window_words; ++w) {
     const std::size_t wi = base_word + w;
     if (wi >= bitmap_words(msg.chunks)) break;
@@ -329,15 +334,26 @@ void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
   nack.type = ControlType::kSrNack;
   nack.msg_number = msg.handle->msg_number();
   const double now_s = sim_.now().seconds();
-  for (std::size_t c = cumulative;
-       c < completed_chunk && nack.indices.size() < 256; ++c) {
-    if (bitmap->test(c)) continue;
-    if (msg.last_nack_s[c] >= 0.0 &&
-        now_s - msg.last_nack_s[c] < config_.nack_holdoff_s) {
-      continue;
+  // Word scan for the holes in [cumulative, completed_chunk): one bitmap
+  // load per 64 chunks, countr_zero to hop between missing ones.
+  std::size_t c = cumulative;
+  while (c < completed_chunk && nack.indices.size() < 256) {
+    const std::size_t wi = c >> 6;
+    const std::size_t word_base = wi << 6;
+    std::uint64_t missing = ~bitmap->load_word(wi) & (~0ULL << (c & 63));
+    while (missing != 0 && nack.indices.size() < 256) {
+      const std::size_t hole =
+          word_base + static_cast<std::size_t>(std::countr_zero(missing));
+      missing &= missing - 1;
+      if (hole >= completed_chunk) break;
+      if (msg.last_nack_s[hole] >= 0.0 &&
+          now_s - msg.last_nack_s[hole] < config_.nack_holdoff_s) {
+        continue;
+      }
+      msg.last_nack_s[hole] = now_s;
+      nack.indices.push_back(static_cast<std::uint32_t>(hole));
     }
-    msg.last_nack_s[c] = now_s;
-    nack.indices.push_back(static_cast<std::uint32_t>(c));
+    c = word_base + 64;
   }
   if (nack.indices.empty()) return;
   const std::vector<std::uint8_t> wire = encode_control(nack);

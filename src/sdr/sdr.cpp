@@ -10,6 +10,7 @@ namespace sdr::core {
 
 namespace {
 constexpr std::uint64_t kCtsBufferFactor = 2;  // posted CTS recvs per slot
+constexpr std::size_t kCqeBatch = 64;  // stack batch for CQ drains
 }
 
 // ---------------------------------------------------------------------------
@@ -108,13 +109,15 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
     root_table_->bind_null(s, null_mr_);
   }
 
-  // Handle pools: one handle per slot bounds in-flight messages.
+  // Handle pools: one handle per slot bounds in-flight messages. The CTS
+  // pending array is slot-indexed for the same reason (see sdr.hpp).
   send_handles_.reserve(attr_.max_inflight);
   recv_handles_.reserve(attr_.max_inflight);
   for (std::size_t s = 0; s < attr_.max_inflight; ++s) {
     send_handles_.push_back(std::make_unique<SendHandle>());
     recv_handles_.push_back(std::make_unique<RecvHandle>());
   }
+  cts_pending_.resize(attr_.max_inflight);
 
   if (telemetry::enabled()) register_metrics();
 }
@@ -132,7 +135,7 @@ void Qp::register_metrics() {
   tele_.bind_counter("staged_packets", &stats_.staged_packets);
   tele_.bind_counter("staged_bytes", &stats_.staged_bytes);
   tele_.bind_gauge("active_sends", [this] {
-    return static_cast<double>(active_sends_.size());
+    return static_cast<double>(active_send_count_);
   });
   tele_.bind_gauge("send_cq_depth", [this] {
     return static_cast<double>(send_cq_->size());
@@ -210,21 +213,21 @@ Status Qp::send_stream_start(std::uint32_t user_imm, bool has_user_imm,
                   "message table full: poll previous sends to completion");
   }
   ++send_counter_;
-  *h = SendHandle{};
+  h->reset();
   h->in_use_ = true;
   h->msg_number_ = msg_number;
   h->slot_ = slot;
   h->generation_ = generation_of(msg_number);
   h->user_imm_ = user_imm;
   h->has_user_imm_ = has_user_imm;
-  active_sends_[msg_number] = h;
+  ++active_send_count_;
 
   // Consume an already-arrived CTS (receiver posted before we started).
-  if (const auto it = cts_pending_.find(msg_number);
-      it != cts_pending_.end()) {
+  if (PendingCts& pending = cts_pending_[slot];
+      pending.valid && pending.msg.msg_number == msg_number) {
     h->cts_ready_ = true;
-    h->remote_msg_bytes_ = it->second.msg_bytes;
-    cts_pending_.erase(it);
+    h->remote_msg_bytes_ = pending.msg.msg_bytes;
+    pending.valid = false;
   }
   *handle = h;
   return Status::ok();
@@ -284,8 +287,8 @@ Status Qp::send_post(const std::uint8_t* data, std::size_t length,
   if (Status s = send_stream_start(user_imm, has_user_imm, &h); !s) return s;
   if (Status s = send_stream_continue(h, data, 0, length); !s) {
     // Roll the message context back so the slot is not leaked.
-    active_sends_.erase(h->msg_number_);
     h->in_use_ = false;
+    --active_send_count_;
     --send_counter_;
     return s;
   }
@@ -303,8 +306,8 @@ Status Qp::send_poll(SendHandle* handle) {
     return Status(StatusCode::kNotReady, "");
   }
   // Completed: destroy the message context (one-shot semantics §3.1.2).
-  active_sends_.erase(handle->msg_number_);
   handle->in_use_ = false;
+  --active_send_count_;
   return Status::ok();
 }
 
@@ -493,33 +496,40 @@ void Qp::send_cts(const CtsMessage& cts) {
 }
 
 void Qp::on_control_cqe() {
-  while (auto cqe = control_cq_->poll_one()) {
-    if (!cqe->is_recv || cqe->byte_len < sizeof(CtsMessage)) continue;
-    const std::size_t buf = static_cast<std::size_t>(cqe->wr_id);
-    CtsMessage cts;
-    std::memcpy(&cts, cts_buffers_[buf].data(), sizeof(cts));
-    // Recycle the CTS buffer.
-    verbs::RecvWr rwr;
-    rwr.wr_id = buf;
-    rwr.addr = cts_buffers_[buf].data();
-    rwr.length = cts_buffers_[buf].size();
-    control_qp_->post_recv(rwr);
-    ++stats_.cts_received;
-    if (telemetry::tracing()) {
-      telemetry::tracer().emit(sim_now(), telemetry::TraceEventType::kCts,
-                               control_qp_->num(), cts.msg_number);
-    }
+  verbs::Cqe batch[kCqeBatch];
+  std::size_t n;
+  while ((n = control_cq_->poll(batch, kCqeBatch)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const verbs::Cqe& cqe = batch[i];
+      if (!cqe.is_recv || cqe.byte_len < sizeof(CtsMessage)) continue;
+      const std::size_t buf = static_cast<std::size_t>(cqe.wr_id);
+      CtsMessage cts;
+      std::memcpy(&cts, cts_buffers_[buf].data(), sizeof(cts));
+      // Recycle the CTS buffer.
+      verbs::RecvWr rwr;
+      rwr.wr_id = buf;
+      rwr.addr = cts_buffers_[buf].data();
+      rwr.length = cts_buffers_[buf].size();
+      control_qp_->post_recv(rwr);
+      ++stats_.cts_received;
+      if (telemetry::tracing()) {
+        telemetry::tracer().emit(sim_now(), telemetry::TraceEventType::kCts,
+                                 control_qp_->num(), cts.msg_number);
+      }
 
-    if (const auto it = active_sends_.find(cts.msg_number);
-        it != active_sends_.end()) {
-      SendHandle* h = it->second;
-      h->cts_ready_ = true;
-      h->remote_msg_bytes_ = cts.msg_bytes;
-      flush_queued(h);
-    } else {
-      cts_pending_[cts.msg_number] = cts;
+      // Order-based matching: the in-flight send for this msg_number, if
+      // started, lives at its slot.
+      const std::size_t slot = slot_of(cts.msg_number);
+      SendHandle* h = send_handles_[slot].get();
+      if (h->in_use_ && h->msg_number_ == cts.msg_number) {
+        h->cts_ready_ = true;
+        h->remote_msg_bytes_ = cts.msg_bytes;
+        flush_queued(h);
+      } else {
+        cts_pending_[slot] = PendingCts{cts, true};
+      }
+      if (cts_handler_) cts_handler_(cts.msg_number);
     }
-    if (cts_handler_) cts_handler_(cts.msg_number);
   }
 }
 
@@ -528,81 +538,91 @@ void Qp::on_data_cqe(std::size_t qp_index) {
       static_cast<std::uint32_t>(qp_index / attr_.channels);
   const bool ud = attr_.transport == Transport::kUd;
   verbs::CompletionQueue& cq = *data_cqs_[qp_index];
-  while (auto cqe = cq.poll_one()) {
-    if (!cqe->is_recv || !cqe->imm_valid) continue;
-    ++stats_.completions_processed;
-    const ImmFields fields = codec_.decode(cqe->imm);
+  verbs::Cqe batch[kCqeBatch];
+  std::size_t n;
+  while ((n = cq.poll(batch, kCqeBatch)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const verbs::Cqe& cqe = batch[i];
+      if (!cqe.is_recv || !cqe.imm_valid) continue;
+      ++stats_.completions_processed;
+      const ImmFields fields = codec_.decode(cqe.imm);
 
-    ProcessResult result;
-    if (ud) {
-      // Staging path (§2.3): the datagram landed in a runtime buffer. The
-      // software backend runs the generation/slot checks BEFORE copying —
-      // unlike the zero-copy path, where the NIC has already placed the
-      // payload — so stale packets never touch user memory. The staging
-      // buffer is reposted either way.
-      auto& staging = ud_staging_[qp_index][cqe->wr_id];
-      result = table_.process_completion(fields, qp_generation);
-      if (result.accepted && result.new_packet) {
-        const std::uint64_t offset =
-            static_cast<std::uint64_t>(fields.msg_id) * attr_.max_msg_size +
-            static_cast<std::uint64_t>(fields.packet_index) * attr_.mtu;
-        const verbs::ResolvedAccess access =
-            root_table_->resolve(offset, cqe->byte_len);
-        if (access.valid && !access.discard && access.addr != nullptr) {
-          std::memcpy(access.addr, staging.data(), cqe->byte_len);
-          ++stats_.staged_packets;
-          stats_.staged_bytes += cqe->byte_len;
+      ProcessResult result;
+      if (ud) {
+        // Staging path (§2.3): the datagram landed in a runtime buffer. The
+        // software backend runs the generation/slot checks BEFORE copying —
+        // unlike the zero-copy path, where the NIC has already placed the
+        // payload — so stale packets never touch user memory. The staging
+        // buffer is reposted either way.
+        auto& staging = ud_staging_[qp_index][cqe.wr_id];
+        result = table_.process_completion(fields, qp_generation);
+        if (result.accepted && result.new_packet) {
+          const std::uint64_t offset =
+              static_cast<std::uint64_t>(fields.msg_id) * attr_.max_msg_size +
+              static_cast<std::uint64_t>(fields.packet_index) * attr_.mtu;
+          const verbs::ResolvedAccess access =
+              root_table_->resolve(offset, cqe.byte_len);
+          if (access.valid && !access.discard && access.addr != nullptr) {
+            std::memcpy(access.addr, staging.data(), cqe.byte_len);
+            ++stats_.staged_packets;
+            stats_.staged_bytes += cqe.byte_len;
+          }
+        }
+        verbs::RecvWr rwr;
+        rwr.wr_id = cqe.wr_id;
+        rwr.addr = staging.data();
+        rwr.length = staging.size();
+        data_qps_[qp_index]->post_recv(rwr);
+      } else {
+        result = table_.process_completion(fields, qp_generation);
+      }
+      if (!result.accepted) {
+        ++stats_.completions_discarded;
+        continue;
+      }
+      RecvHandle* h = recv_handles_[fields.msg_id].get();
+      if (telemetry::tracing()) {
+        const std::uint64_t msg =
+            h->in_use_ ? h->msg_number_ : telemetry::kNoMsg;
+        auto& tr = telemetry::tracer();
+        const SimTime now = sim_now();
+        const std::uint32_t qp_num = data_qps_[qp_index]->num();
+        tr.emit(now, telemetry::TraceEventType::kCqe, qp_num, msg,
+                fields.packet_index, cqe.imm, cqe.byte_len);
+        if (result.chunk_completed) {
+          tr.emit(now, telemetry::TraceEventType::kBitmapUpdate, qp_num, msg,
+                  result.chunk_index);
+        }
+        if (result.message_completed) {
+          tr.emit(now, telemetry::TraceEventType::kMsgComplete, qp_num, msg);
         }
       }
-      verbs::RecvWr rwr;
-      rwr.wr_id = cqe->wr_id;
-      rwr.addr = staging.data();
-      rwr.length = staging.size();
-      data_qps_[qp_index]->post_recv(rwr);
-    } else {
-      result = table_.process_completion(fields, qp_generation);
-    }
-    if (!result.accepted) {
-      ++stats_.completions_discarded;
-      continue;
-    }
-    RecvHandle* h = recv_handles_[fields.msg_id].get();
-    if (telemetry::tracing()) {
-      const std::uint64_t msg =
-          h->in_use_ ? h->msg_number_ : telemetry::kNoMsg;
-      auto& tr = telemetry::tracer();
-      const SimTime now = sim_now();
-      const std::uint32_t qp_num = data_qps_[qp_index]->num();
-      tr.emit(now, telemetry::TraceEventType::kCqe, qp_num, msg,
-              fields.packet_index, cqe->imm, cqe->byte_len);
+      if (!recv_event_handler_) continue;
+      if (!h->in_use_) continue;
       if (result.chunk_completed) {
-        tr.emit(now, telemetry::TraceEventType::kBitmapUpdate, qp_num, msg,
-                result.chunk_index);
+        recv_event_handler_(RecvEvent{RecvEvent::Type::kChunkCompleted, h,
+                                      result.chunk_index});
       }
       if (result.message_completed) {
-        tr.emit(now, telemetry::TraceEventType::kMsgComplete, qp_num, msg);
+        recv_event_handler_(
+            RecvEvent{RecvEvent::Type::kMessageCompleted, h, 0});
       }
-    }
-    if (!recv_event_handler_) continue;
-    if (!h->in_use_) continue;
-    if (result.chunk_completed) {
-      recv_event_handler_(
-          RecvEvent{RecvEvent::Type::kChunkCompleted, h, result.chunk_index});
-    }
-    if (result.message_completed) {
-      recv_event_handler_(
-          RecvEvent{RecvEvent::Type::kMessageCompleted, h, 0});
     }
   }
 }
 
 void Qp::on_send_cqe() {
-  while (auto cqe = send_cq_->poll_one()) {
-    if (cqe->is_recv) continue;
-    const std::size_t slot = static_cast<std::size_t>(cqe->wr_id);
-    if (slot >= send_handles_.size()) continue;
-    SendHandle* h = send_handles_[slot].get();
-    if (h->in_use_ && h->packets_pending_ > 0) --h->packets_pending_;
+  verbs::Cqe batch[kCqeBatch];
+  std::size_t n;
+  while ((n = send_cq_->poll(batch, kCqeBatch)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const verbs::Cqe& cqe = batch[i];
+      if (cqe.is_recv) continue;
+      const std::size_t slot = static_cast<std::size_t>(cqe.wr_id);
+      if (slot >= send_handles_.size()) continue;
+      SendHandle* h = send_handles_[slot].get();
+      if (h->in_use_ && h->packets_pending_ > 0) --h->packets_pending_;
+    }
   }
 }
 

@@ -14,12 +14,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/status.hpp"
 #include "sdr/config.hpp"
 #include "sdr/imm_codec.hpp"
@@ -73,8 +72,28 @@ class SendHandle {
     std::size_t offset;
     std::size_t length;
   };
-  std::deque<PendingOp> queued_;  // ops issued before CTS arrived
+  // Ops issued before CTS arrived. Ring (not deque): a deque's cursor
+  // marches through its blocks, freeing and reallocating one every ~21
+  // push/pop cycles even when the queue never holds more than one element.
+  common::RingBuffer<PendingOp> queued_;
   bool in_use_{false};
+
+  /// Recycle for the next message on this slot without rebuilding the
+  /// deque (steady-state message turnover must not touch the allocator).
+  void reset() {
+    msg_number_ = 0;
+    slot_ = 0;
+    generation_ = 0;
+    user_imm_ = 0;
+    has_user_imm_ = false;
+    ended_ = false;
+    cts_ready_ = false;
+    packets_injected_ = 0;
+    packets_pending_ = 0;
+    remote_msg_bytes_ = 0;
+    queued_.clear();
+    in_use_ = false;
+  }
 };
 
 /// Receive message context (rcv_handle).
@@ -227,16 +246,25 @@ class Qp {
   verbs::IndirectMkeyTable* root_table_{nullptr};
   const verbs::MemoryRegion* null_mr_{nullptr};
 
-  // Order-based matching state.
+  // Order-based matching state. A CTS that outruns its send_stream_start
+  // parks in the per-slot pending array: order-based matching means at most
+  // one CTS can be pending per slot (the receiver cannot post msg
+  // n+max_inflight until msg n completed, which required the sender to have
+  // consumed CTS n), so no map is needed.
   std::uint64_t send_counter_{0};
   std::uint64_t recv_counter_{0};
-  std::unordered_map<std::uint64_t, CtsMessage> cts_pending_;
+  struct PendingCts {
+    CtsMessage msg{};
+    bool valid{false};
+  };
+  std::vector<PendingCts> cts_pending_;
 
-  // Handles: one per message-table slot (bounded in-flight).
+  // Handles: one per message-table slot (bounded in-flight). The handle
+  // for in-flight send msg_number is send_handles_[slot_of(msg_number)];
+  // CTS arrival re-derives it the same way.
   std::vector<std::unique_ptr<SendHandle>> send_handles_;
   std::vector<std::unique_ptr<RecvHandle>> recv_handles_;
-  // Map in-flight send msg_number -> handle (for CTS arrival).
-  std::unordered_map<std::uint64_t, SendHandle*> active_sends_;
+  std::size_t active_send_count_{0};
 
   // Control-plane receive buffers for CTS datagrams.
   std::vector<std::vector<std::uint8_t>> cts_buffers_;

@@ -76,7 +76,10 @@ void Qp::emit_packets_for_write(const WriteWr& wr) {
     pkt.psn = next_psn_++;
     pkt.rkey = wr.rkey;
     pkt.remote_offset = wr.remote_offset + sent;
-    pkt.payload.assign(wr.local_addr + sent, wr.local_addr + sent + chunk);
+    // Zero-copy: slice the caller's (registered) buffer directly. The verbs
+    // contract keeps it valid until the send completion, which covers every
+    // in-flight and RC-unacked reference to this slice.
+    pkt.payload = common::PayloadRef::borrow(wr.local_addr + sent, chunk);
 
     const bool first = (p == 0);
     const bool last = (p + 1 == packets);
@@ -138,7 +141,10 @@ Status Qp::post_send(const SendWr& wr) {
   pkt.opcode = wr.with_imm ? Opcode::kSendOnlyImm : Opcode::kSendOnly;
   pkt.imm = wr.imm;
   if (wr.local_addr != nullptr && wr.length > 0) {
-    pkt.payload.assign(wr.local_addr, wr.local_addr + wr.length);
+    // Two-sided sends may post from short-lived storage (SDR builds CTS
+    // messages on the stack), so the payload is copied once into a pooled,
+    // refcounted slot rather than borrowed.
+    pkt.payload = common::PayloadRef::pooled_copy(wr.local_addr, wr.length);
   }
 
   if (config_.type == QpType::kRC) {
@@ -427,9 +433,10 @@ void Qp::rc_handle_ack(Psn acked_up_to) {
 void Qp::rc_handle_nak(Psn expected) {
   if (config_.rc_mode == RcMode::kSelectiveRepeat) {
     // Selective: retransmit only the named packet.
-    for (const Unacked& u : rc_unacked_) {
+    for (std::size_t i = 0; i < rc_unacked_.size(); ++i) {
+      const Unacked& u = rc_unacked_[i];
       if (u.pkt.psn == expected) {
-        WirePacket copy = u.pkt;
+        WirePacket copy = u.pkt;  // payload is a ref bump, not a byte copy
         send_packet(std::move(copy), /*count_retransmission=*/true);
         break;
       }
@@ -562,7 +569,8 @@ void Qp::rc_on_timeout() {
   if (rc_retries_ > config_.rc_retry_limit) {
     // Give up: flush all outstanding work with an error, like hardware
     // transitioning the QP to the error state.
-    for (const Unacked& u : rc_unacked_) {
+    for (std::size_t i = 0; i < rc_unacked_.size(); ++i) {
+      const Unacked& u = rc_unacked_[i];
       if (u.last_of_wr && u.signaled) {
         complete_send(u.wr_id, 0, WcStatus::kRetryExceeded);
       }
@@ -575,9 +583,10 @@ void Qp::rc_on_timeout() {
 }
 
 void Qp::rc_retransmit_from(Psn psn) {
-  for (const Unacked& u : rc_unacked_) {
+  for (std::size_t i = 0; i < rc_unacked_.size(); ++i) {
+    const Unacked& u = rc_unacked_[i];
     if (u.pkt.psn < psn) continue;
-    WirePacket copy = u.pkt;
+    WirePacket copy = u.pkt;  // payload is a ref bump, not a byte copy
     send_packet(std::move(copy), /*count_retransmission=*/true);
   }
   if (rc_timer_.valid()) {

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
 #include <unordered_set>
 
+#include "common/ring_buffer.hpp"
 #include "common/status.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -139,10 +139,12 @@ class Qp {
   std::uint64_t uc_message_bytes_{0};
 
   // Two-sided receive queue.
-  std::deque<RecvWr> recv_queue_;
+  common::RingBuffer<RecvWr> recv_queue_;
 
-  // RC sender state.
-  std::deque<Unacked> rc_unacked_;
+  // RC sender state. Ring (not deque): the push/pop-per-packet window must
+  // not touch the allocator in steady state, and popped entries release
+  // their payload references immediately.
+  common::RingBuffer<Unacked> rc_unacked_;
   Psn rc_acked_psn_{0};  // next PSN expected to be acked
   sim::EventId rc_timer_{};
   int rc_retries_{0};

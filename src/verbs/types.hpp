@@ -10,7 +10,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "common/payload_pool.hpp"
 
 namespace sdr::verbs {
 
@@ -53,10 +54,12 @@ constexpr bool carries_imm(Opcode op) {
          op == Opcode::kSendOnlyImm;
 }
 
-/// One packet on the simulated wire. Payload bytes are carried by value:
-/// the simulation substrate favors testability (end-to-end payload
-/// verification) over avoiding copies; data-path benchmarks use the
-/// threaded software NIC instead.
+/// One packet on the simulated wire. Payload bytes are carried by
+/// reference (common::PayloadRef): RDMA Writes borrow a slice of the
+/// registered source buffer directly (zero-copy, like the DMA engine the
+/// paper's NIC uses), two-sided sends hold a pooled refcounted copy.
+/// Duplicating the packet — channel duplication, the RC retransmit queue —
+/// duplicates the reference, never the bytes.
 struct WirePacket {
   NicId dst_nic{0};
   QpNumber dst_qp{0};
@@ -67,7 +70,7 @@ struct WirePacket {
   // RDMA Write addressing (RETH): target memory key and offset within it.
   MemoryKey rkey{0};
   std::uint64_t remote_offset{0};
-  std::vector<std::uint8_t> payload;
+  common::PayloadRef payload;
 };
 
 enum class WcStatus : std::uint8_t {
