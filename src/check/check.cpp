@@ -1,0 +1,258 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "model/link_params.hpp"
+#include "model/protocols.hpp"
+#include "sweep/sweep.hpp"
+
+namespace sdr::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// The analytic model covers a narrow slice of the scenario space; gate the
+/// oracle on exactly that slice so every reported violation is real.
+bool model_oracle_applies(const Scenario& s) {
+  return s.messages.size() == 1 &&
+         (s.drop == DropKind::kClean || s.drop == DropKind::kIid) &&
+         s.reorder_probability == 0.0 && s.duplicate_probability == 0.0 &&
+         !s.perturb_rto && !s.adaptive_rto;
+}
+
+void run_model_oracle(const Scenario& s, const ArmResult& sr,
+                      std::vector<std::string>* failures) {
+  if (!sr.ok() || sr.done_at_s.empty() || sr.done_at_s[0] < 0.0) {
+    return;  // completion oracle already fired; don't double-report
+  }
+  model::LinkParams link;
+  link.bandwidth_bps = s.bandwidth_bps;
+  link.rtt_s = s.rtt_s();
+  // Scenario loss is per packet; the model wants per chunk.
+  const double p_pkt = s.drop == DropKind::kIid ? s.iid_p : 0.0;
+  link.p_drop =
+      1.0 - std::pow(1.0 - p_pkt, static_cast<double>(s.packets_per_chunk));
+  link.chunk_bytes = s.chunk_bytes();
+
+  model::SchemeParams params;
+  params.sr = model::SrConfig{s.rto_rtt_multiple};
+  const model::Scheme scheme = s.sr_flavor == SrFlavor::kNack
+                                   ? model::Scheme::kSrNack
+                                   : model::Scheme::kSrRto;
+  const double expected = model::expected_completion_s(
+      scheme, link, s.messages[0].chunks, params);
+  const double measured = sr.done_at_s[0] - s.messages[0].post_delay_s;
+  // The sim pays real costs the model abstracts away (ACK cadence, chunk
+  // injection backlog under a packet-level drop process, RTO floors), so
+  // the band is wide: the oracle exists to catch order-of-magnitude
+  // divergence (a wedged retransmit loop, a free lunch), not to validate
+  // the model's constants.
+  const double upper = 16.0 * expected + 8.0 * s.rtt_s() + 1e-3;
+  const double floor =
+      0.25 * injection_time_s(s.message_bytes(0), s.bandwidth_bps);
+  if (measured > upper) {
+    failures->push_back(
+        "model oracle: SR completion " + std::to_string(measured) +
+        "s exceeds " + std::to_string(upper) + "s (analytic expectation " +
+        std::to_string(expected) + "s)");
+  } else if (measured < floor) {
+    failures->push_back(
+        "model oracle: SR completion " + std::to_string(measured) +
+        "s is below the injection floor " + std::to_string(floor) +
+        "s — data cannot have traversed the link");
+  }
+}
+
+void run_differential_oracle(const std::vector<ArmResult>& arms,
+                             std::vector<std::string>* failures) {
+  const ArmResult* reference = nullptr;
+  for (const ArmResult& arm : arms) {
+    if (!arm.ok()) continue;  // its own oracles already flag it
+    if (reference == nullptr) {
+      reference = &arm;
+      continue;
+    }
+    if (arm.received.size() != reference->received.size()) {
+      failures->push_back("differential oracle: " + arm.name +
+                          " delivered " + std::to_string(arm.received.size()) +
+                          " bytes but " + reference->name + " delivered " +
+                          std::to_string(reference->received.size()));
+      continue;
+    }
+    for (std::size_t i = 0; i < arm.received.size(); ++i) {
+      if (arm.received[i] != reference->received[i]) {
+        failures->push_back(
+            "differential oracle: " + arm.name + " and " + reference->name +
+            " delivered different bytes at offset " + std::to_string(i));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool SeedReport::ok() const {
+  if (!failures.empty()) return false;
+  for (const ArmResult& arm : arms) {
+    if (!arm.ok()) return false;
+  }
+  return true;
+}
+
+std::string SeedReport::failure_text() const {
+  std::string out;
+  for (const ArmResult& arm : arms) {
+    for (const std::string& f : arm.failures) {
+      out += "[" + arm.name + "] " + f + "\n";
+    }
+  }
+  for (const std::string& f : failures) {
+    out += "[cross] " + f + "\n";
+  }
+  return out;
+}
+
+const std::string& SeedReport::timeline() const {
+  static const std::string kEmpty;
+  for (const ArmResult& arm : arms) {
+    if (!arm.ok() && !arm.timeline.empty()) return arm.timeline;
+  }
+  return kEmpty;
+}
+
+std::uint64_t SeedReport::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const ArmResult& arm : arms) {
+    h = fnv1a(h, arm.name.data(), arm.name.size());
+    h = fnv1a(h, arm.received.data(), arm.received.size());
+    for (const double t : arm.done_at_s) {
+      // Hash the exact bit pattern: "equivalent" floating point is not
+      // good enough for the serial-vs-parallel oracle.
+      std::uint64_t bits;
+      std::memcpy(&bits, &t, sizeof(bits));
+      h = fnv1a(h, &bits, sizeof(bits));
+    }
+    h = fnv1a(h, &arm.retransmissions, sizeof(arm.retransmissions));
+  }
+  return h;
+}
+
+std::string repro_command(std::uint64_t seed, int shrink_level) {
+  std::string cmd = "sdrcheck --seed=" + std::to_string(seed);
+  if (shrink_level > 0) {
+    cmd += " --shrink-level=" + std::to_string(shrink_level);
+  }
+  return cmd;
+}
+
+SeedReport check_seed(std::uint64_t seed, const CheckOptions& opts,
+                      int shrink_level) {
+  SeedReport report;
+  report.seed = seed;
+  report.shrink_level = shrink_level;
+  report.scenario = shrink_scenario(generate_scenario(seed), shrink_level);
+
+  RunnerOptions ropts;
+  ropts.capture_trace = opts.capture_trace;
+  ropts.trace_capacity = opts.trace_capacity;
+
+  report.arms.push_back(run_sr_arm(report.scenario, ropts));
+  if (opts.run_ec) report.arms.push_back(run_ec_arm(report.scenario, ropts));
+  if (opts.run_rc) report.arms.push_back(run_rc_arm(report.scenario, ropts));
+
+  run_differential_oracle(report.arms, &report.failures);
+  if (opts.model_oracle && model_oracle_applies(report.scenario)) {
+    run_model_oracle(report.scenario, report.arms[0], &report.failures);
+  }
+  return report;
+}
+
+ShrinkOutcome shrink_failure(std::uint64_t seed, const CheckOptions& opts) {
+  ShrinkOutcome out;
+  out.minimal = check_seed(seed, opts, 0);
+  out.level = 0;
+  // Greedy ladder walk: stop at the first level that passes (the failure
+  // needs whatever that step removed) or stops changing the scenario.
+  Scenario prev = out.minimal.scenario;
+  for (int level = 1; level <= opts.max_shrink_level; ++level) {
+    const Scenario next = shrink_scenario(generate_scenario(seed), level);
+    if (next.describe() == prev.describe()) break;  // ladder fixpoint
+    SeedReport candidate = check_seed(seed, opts, level);
+    if (candidate.ok()) break;
+    out.minimal = std::move(candidate);
+    out.level = level;
+    prev = next;
+  }
+  out.repro = repro_command(seed, out.level);
+  return out;
+}
+
+BatchResult check_seeds(std::uint64_t base_seed, std::size_t count,
+                        const CheckOptions& opts, unsigned jobs) {
+  BatchResult batch;
+  batch.base_seed = base_seed;
+  batch.total = count;
+
+  sweep::ParamGrid grid;
+  std::vector<std::int64_t> trials(count);
+  std::iota(trials.begin(), trials.end(), 0);
+  grid.axis_i64("trial", std::move(trials));
+
+  sweep::SweepOptions sopts;
+  sopts.jobs = jobs;
+  sopts.base_seed = base_seed;
+  // The harness arms its own per-arm tracers; sweep-level capture would
+  // only add noise (and the jsonl must stay identical across jobs counts).
+  sopts.capture_telemetry = false;
+
+  const sweep::SweepResult result = sweep::run_sweep(
+      grid, sopts, [&opts](sweep::Trial& trial) {
+        const SeedReport report = check_seed(trial.seed(), opts, 0);
+        trial.record("seed", static_cast<std::int64_t>(report.seed));
+        trial.record_flag("ok", report.ok());
+        trial.record("oracle_failures", static_cast<std::int64_t>(
+                                            report.failure_text().empty()
+                                                ? 0
+                                                : std::count(
+                                                      report.failure_text()
+                                                          .begin(),
+                                                      report.failure_text()
+                                                          .end(),
+                                                      '\n')));
+        trial.record("digest", static_cast<std::int64_t>(report.digest()));
+      });
+
+  batch.jsonl = result.to_jsonl();
+  for (const sweep::TrialRecord& rec : result.trials) {
+    const sweep::TrialRecord::Value* ok = rec.find("ok");
+    const bool passed = rec.ok && ok != nullptr && ok->json == "true";
+    if (!passed) {
+      batch.failing_seeds.push_back(derive_seed(base_seed, rec.index));
+    }
+  }
+  // Shrinking is serial and after the sweep: it re-runs scenarios many
+  // times and must not skew the deterministic batch records.
+  for (const std::uint64_t seed : batch.failing_seeds) {
+    batch.shrunk.push_back(shrink_failure(seed, opts));
+  }
+  return batch;
+}
+
+}  // namespace sdr::check

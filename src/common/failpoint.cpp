@@ -1,0 +1,47 @@
+#include "common/failpoint.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace sdr::common {
+
+namespace detail {
+thread_local int tl_failpoint_count = 0;
+}  // namespace detail
+
+namespace {
+struct FailpointState {
+  bool armed{false};
+  std::uint64_t hits{0};
+};
+
+std::unordered_map<std::string, FailpointState>& table() {
+  thread_local std::unordered_map<std::string, FailpointState> t;
+  return t;
+}
+}  // namespace
+
+void set_failpoint(std::string_view name, bool armed) {
+  FailpointState& st = table()[std::string(name)];
+  if (st.armed == armed) return;
+  st.armed = armed;
+  detail::tl_failpoint_count += armed ? 1 : -1;
+  if (armed) st.hits = 0;
+}
+
+bool failpoint_armed(std::string_view name) {
+  auto& t = table();
+  const auto it = t.find(std::string(name));
+  if (it == t.end() || !it->second.armed) return false;
+  ++it->second.hits;
+  return true;
+}
+
+std::uint64_t failpoint_hits(std::string_view name) {
+  auto& t = table();
+  const auto it = t.find(std::string(name));
+  return it == t.end() ? 0 : it->second.hits;
+}
+
+}  // namespace sdr::common

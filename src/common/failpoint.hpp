@@ -1,0 +1,59 @@
+// Named failpoints: test-armed fault injection sites compiled into the
+// production code at (near) zero cost.
+//
+// A failpoint is a named boolean the conformance harness (src/check/) can
+// arm to make a protocol misbehave in a precisely chosen way — e.g.
+// "sr.ack_cumulative_off_by_one" corrupts the SR receiver's cumulative ACK
+// by one chunk. The harness uses this to prove it detects and shrinks an
+// injected protocol bug; production code pays one thread-local integer load
+// per site while no failpoint is armed.
+//
+// Failpoints are thread-local on purpose: parallel sweep workers
+// (src/sweep/) run trials concurrently, and an armed failpoint must never
+// leak into a sibling trial. Always arm through ScopedFailpoint so worker
+// threads are restored on scope exit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdr::common {
+
+namespace detail {
+// Fast-path gate: number of armed failpoints on this thread. The
+// SDR_FAILPOINT macro reads only this when nothing is armed.
+extern thread_local int tl_failpoint_count;
+}  // namespace detail
+
+/// Arm/disarm `name` on the calling thread. Prefer ScopedFailpoint.
+void set_failpoint(std::string_view name, bool armed);
+
+/// True when `name` is armed on the calling thread. Call through the
+/// SDR_FAILPOINT macro so the disarmed fast path stays a single load.
+bool failpoint_armed(std::string_view name);
+
+/// Number of times `name` fired (SDR_FAILPOINT evaluated true) on this
+/// thread since it was last armed.
+std::uint64_t failpoint_hits(std::string_view name);
+
+/// RAII guard: arms `name` for the guard's lifetime on this thread.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string_view name) : name_(name) {
+    set_failpoint(name_, true);
+  }
+  ~ScopedFailpoint() { set_failpoint(name_, false); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace sdr::common
+
+/// Use at the injection site:
+///   if (SDR_FAILPOINT("sr.ack_cumulative_off_by_one")) { ...misbehave... }
+#define SDR_FAILPOINT(name)                        \
+  (::sdr::common::detail::tl_failpoint_count > 0 && \
+   ::sdr::common::failpoint_armed(name))

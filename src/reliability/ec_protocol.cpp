@@ -365,6 +365,12 @@ Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
         if (cb) cb(Status(StatusCode::kAborted, "EC global timeout"));
       });
 
+  // FTO armed at posting, not on first chunk arrival: a loss burst that
+  // eats every packet of the message (data and parity) would otherwise
+  // leave the receiver silent and the sender waiting forever — the global
+  // timeout would be the only way out.
+  arm_fto(msg, base);
+
   ++stats_.messages;
   messages_.emplace(base, std::move(msg));
   return Status::ok();
@@ -378,8 +384,6 @@ void EcReceiver::on_chunk_event(const core::RecvEvent& event) {
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
   if (msg.complete) return;
-
-  if (!msg.fto_armed) arm_fto(msg, base);
 
   // Which submessage does this event concern?
   const std::uint64_t idx = event.handle->msg_number() - base;
@@ -468,8 +472,10 @@ void EcReceiver::arm_fto(MsgState& msg, std::uint64_t base) {
   const double wire_chunks =
       static_cast<double>(msg.length / chunk_bytes_) *
       (1.0 + static_cast<double>(config_.m) / static_cast<double>(config_.k));
+  // + 2 RTT of slack: the timer now starts at posting, before the
+  // RTS/CTS handshake and the first injected byte.
   const double fto_s = wire_chunks * profile_.chunk_injection_s() +
-                       config_.beta * profile_.rtt_s;
+                       config_.beta * profile_.rtt_s + 2.0 * profile_.rtt_s;
   msg.fto_timer = sim_.schedule(SimTime::from_seconds(fto_s),
                                 [this, base] { on_fto(base); });
 }
@@ -484,7 +490,9 @@ void EcReceiver::on_fto(std::uint64_t base) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kRtoFired,
                              0, base);
   }
+  const bool first_fire = !msg.fallback;
   msg.fallback = true;
+  if (msg.sub_nacked.empty()) msg.sub_nacked.assign(msg.submessages, false);
 
   ControlMessage nack;
   nack.type = ControlType::kEcNack;
@@ -493,14 +501,21 @@ void EcReceiver::on_fto(std::uint64_t base) {
        ++s) {
     if (!msg.sub_recovered[s]) {
       nack.indices.push_back(static_cast<std::uint32_t>(s));
-      ++stats_.fallback_submessages;
+      if (!msg.sub_nacked[s]) {
+        msg.sub_nacked[s] = true;
+        ++stats_.fallback_submessages;
+      }
     }
   }
   if (nack.indices.empty()) return;
   const auto wire = encode_control(nack);
   control_.send(wire.data(), wire.size());
   ++stats_.ec_nacks_sent;
-  fallback_ack_tick(base);
+  // Keep refiring while submessages are outstanding: the NACK itself (or
+  // the sender's entire first transmission) can be lost, and the sender
+  // may not even have posted the message yet.
+  arm_fto(msg, base);
+  if (first_fire) fallback_ack_tick(base);
 }
 
 void EcReceiver::fallback_ack_tick(std::uint64_t base) {

@@ -148,6 +148,9 @@ class EcReceiver {
     std::vector<std::uint8_t> parity_scratch;
     const verbs::MemoryRegion* parity_mr{nullptr};
     std::vector<bool> sub_recovered;
+    /// Submessages already counted in fallback_submessages / NACKed once
+    /// (refires re-list them on the wire but must not re-count).
+    std::vector<bool> sub_nacked;
     std::size_t subs_recovered{0};
     bool fto_armed{false};
     bool fallback{false};

@@ -48,7 +48,12 @@ class RttEstimator {
   void reset_backoff() { backoff_factor_ = 1.0; }
 
   double rto_s() const {
-    if (samples_ == 0) return params_.initial_rto_s * backoff_factor_;
+    // The pre-sample branch honors [min, max] too: backoff on the initial
+    // RTO (e.g. 0.2 s doubled six times = 12.8 s) must not escape the cap.
+    if (samples_ == 0) {
+      return std::clamp(params_.initial_rto_s * backoff_factor_,
+                        params_.min_rto_s, params_.max_rto_s);
+    }
     const double rto = srtt_ + params_.k * rttvar_;
     return std::clamp(rto * backoff_factor_, params_.min_rto_s,
                       params_.max_rto_s);

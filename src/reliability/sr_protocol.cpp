@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 
 namespace sdr::reliability {
@@ -304,7 +305,14 @@ void SrReceiver::send_ack(MsgState& msg) {
   ControlMessage ack;
   ack.type = ControlType::kSrAck;
   ack.msg_number = msg.handle->msg_number();
-  const std::size_t cumulative = bitmap->first_zero(msg.chunks);
+  std::size_t cumulative = bitmap->first_zero(msg.chunks);
+  // Failpoint for the conformance harness (src/check/): claim one chunk
+  // beyond the true cumulative point, silently "acknowledging" the first
+  // missing chunk — the classic off-by-one a bitmap ACK encoder can make.
+  if (SDR_FAILPOINT("sr.ack_cumulative_off_by_one") &&
+      cumulative < msg.chunks) {
+    ++cumulative;
+  }
   ack.cumulative = static_cast<std::uint32_t>(cumulative);
   // Selective window: words starting at the cumulative point.
   const std::size_t base_word = cumulative / 64;

@@ -78,6 +78,12 @@ class SrSender {
   /// buffer. Buffer must stay alive until `done` fires.
   Status write(const std::uint8_t* data, std::size_t length, DoneFn done);
 
+  /// Mid-flight RTO perturbation (used by the tuner and the conformance
+  /// harness): replaces the static RTO for timers armed from now on.
+  /// Already-armed chunk timers keep their old deadline — exactly the race
+  /// the harness wants to explore. No effect while adaptive_rto is on.
+  void set_static_rto(double rto_s) { config_.rto_s = rto_s; }
+
   const SrSenderStats& stats() const { return stats_; }
 
  private:

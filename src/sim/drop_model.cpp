@@ -1,3 +1,37 @@
 #include "sim/drop_model.hpp"
 
-// Drop models are header-only; this TU anchors the sim library target.
+#include "common/logging.hpp"
+
+namespace sdr::sim {
+
+std::vector<std::uint64_t> ScriptedDrop::unused_indices() const {
+  const std::uint64_t seen = std::max(counter_, high_water_);
+  std::vector<std::uint64_t> unused;
+  for (const std::uint64_t idx : drop_) {
+    if (idx >= seen) unused.push_back(idx);
+  }
+  std::sort(unused.begin(), unused.end());
+  return unused;
+}
+
+std::size_t ScriptedDrop::unused_count() const {
+  const std::uint64_t seen = std::max(counter_, high_water_);
+  std::size_t n = 0;
+  for (const std::uint64_t idx : drop_) {
+    n += idx >= seen ? 1 : 0;
+  }
+  return n;
+}
+
+ScriptedDrop::~ScriptedDrop() {
+  const std::size_t unused = unused_count();
+  if (unused != 0) {
+    SDR_WARN("ScriptedDrop destroyed with %zu scripted drop index(es) past "
+             "the last send (%llu packets seen) — the script no longer "
+             "matches the traffic it targets",
+             unused,
+             static_cast<unsigned long long>(std::max(counter_, high_water_)));
+  }
+}
+
+}  // namespace sdr::sim

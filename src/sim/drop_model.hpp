@@ -88,22 +88,39 @@ class GilbertElliott final : public DropModel {
 /// send index the caller scripted. Used by tests that need to reason about
 /// a precise loss pattern — "drop packet 5 of the first message", "drop a
 /// burst of m+1 chunks of one submessage" — rather than a rate.
+///
+/// A scripted index past the last packet actually sent is almost always a
+/// test bug (the scenario changed and the script rotted): such indices are
+/// reported by unused_indices()/unused_count() and logged at WARN on
+/// destruction so they cannot pass silently. The conformance harness
+/// (src/check/) additionally treats a non-empty unused set as an oracle
+/// failure.
 class ScriptedDrop final : public DropModel {
  public:
   explicit ScriptedDrop(std::vector<std::uint64_t> drop_indices)
       : drop_(drop_indices.begin(), drop_indices.end()) {}
+  ~ScriptedDrop() override;
 
   bool should_drop(Rng& /*rng*/, std::size_t /*bytes*/) override {
     return drop_.count(counter_++) != 0;
   }
 
-  void reset(Rng& /*rng*/) override { counter_ = 0; }
+  void reset(Rng& /*rng*/) override {
+    high_water_ = std::max(high_water_, counter_);
+    counter_ = 0;
+  }
 
   std::uint64_t packets_seen() const { return counter_; }
+
+  /// Scripted indices no packet has reached yet (across every trial since
+  /// construction), sorted ascending.
+  std::vector<std::uint64_t> unused_indices() const;
+  std::size_t unused_count() const;
 
  private:
   std::unordered_set<std::uint64_t> drop_;
   std::uint64_t counter_{0};
+  std::uint64_t high_water_{0};  // max counter_ over reset() boundaries
 };
 
 /// Congestion-modulated drop model for the Fig 2 reproduction.

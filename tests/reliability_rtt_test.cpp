@@ -3,9 +3,11 @@
 // supported").
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "reliability/rtt_estimator.hpp"
 #include "reliability/sr_protocol.hpp"
 #include "sdr/sdr.hpp"
@@ -188,6 +190,83 @@ TEST_F(AdaptiveSrFixture, AdaptiveRecoversFasterThanMisconfiguredStatic) {
 TEST_F(AdaptiveSrFixture, AdaptiveStillDeliversUnderHeavyLoss) {
   wire(0.15, 0.05, /*adaptive=*/true);
   for (int i = 0; i < 3; ++i) transfer(64 * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests (sdrcheck satellite): invariants under randomized
+// sample/backoff sequences, all driven by the pinned common::Rng.
+// ---------------------------------------------------------------------------
+
+TEST(RttEstimatorProperty, RtoAlwaysWithinBounds) {
+  Rng rng(0xB0B0);
+  for (int trial = 0; trial < 64; ++trial) {
+    RttEstimator::Params params;
+    params.min_rto_s = 1e-3 * (1.0 + rng.next_double());
+    params.max_rto_s = params.min_rto_s * (2.0 + 100.0 * rng.next_double());
+    params.initial_rto_s = 1e-4 + 10.0 * rng.next_double();  // may exceed max
+    RttEstimator est(params);
+    // Interleave samples (log-uniform 1 us .. 10 s, so both clamp edges are
+    // exercised), timeouts, and backoff resets; the invariant must hold
+    // after every step — including before the first sample, where the
+    // initial RTO times any backoff must also respect the caps.
+    for (int step = 0; step < 200; ++step) {
+      switch (rng.next_below(4)) {
+        case 0:
+        case 1:
+          est.update(std::pow(10.0, -6.0 + 7.0 * rng.next_double()));
+          break;
+        case 2:
+          est.backoff();
+          break;
+        case 3:
+          est.reset_backoff();
+          break;
+      }
+      const double rto = est.rto_s();
+      ASSERT_GE(rto, params.min_rto_s) << "trial " << trial;
+      ASSERT_LE(rto, params.max_rto_s) << "trial " << trial;
+    }
+  }
+}
+
+TEST(RttEstimatorProperty, BackoffIsMonotoneUnderConsecutiveTimeouts) {
+  Rng rng(0xBACC0FF);
+  for (int trial = 0; trial < 32; ++trial) {
+    RttEstimator est;
+    const int warmup = static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < warmup; ++i) {
+      est.update(0.01 + 0.01 * rng.next_double());
+    }
+    double prev = est.rto_s();
+    for (int timeouts = 0; timeouts < 12; ++timeouts) {
+      est.backoff();
+      const double rto = est.rto_s();
+      ASSERT_GE(rto, prev) << "trial " << trial << " timeout " << timeouts;
+      prev = rto;
+    }
+  }
+}
+
+TEST(RttEstimatorProperty, ConvergesOnAStableLink) {
+  // On a stable link (fixed RTT with small jitter) the estimator must
+  // settle: SRTT within the jitter band of the true RTT, and the RTO
+  // stable from one sample to the next (no oscillation for the tuner to
+  // chase).
+  Rng rng(0x57AB1E);
+  for (double true_rtt : {1e-3, 0.025, 0.1}) {
+    RttEstimator est;
+    for (int i = 0; i < 500; ++i) {
+      est.update(true_rtt * (1.0 + 0.01 * (rng.next_double() - 0.5)));
+    }
+    EXPECT_NEAR(est.srtt_s(), true_rtt, 0.02 * true_rtt);
+    const double rto_a = est.rto_s();
+    est.update(true_rtt);
+    const double rto_b = est.rto_s();
+    EXPECT_NEAR(rto_b, rto_a, 0.05 * rto_a);
+    // Converged RTO stays a sane multiple of the true RTT.
+    EXPECT_GE(rto_b, true_rtt);
+    EXPECT_LE(rto_b, std::max(4.0 * true_rtt, est.srtt_s() * 4.0));
+  }
 }
 
 }  // namespace

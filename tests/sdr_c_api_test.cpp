@@ -137,4 +137,141 @@ TEST(SdrCApiTest, NullArgumentHandling) {
   EXPECT_LT(sdr_recv_post(nullptr, nullptr, nullptr), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Negative paths: every misuse must map to the documented negative status
+// code, not to silence or UB. The sdrcheck harness relies on these codes
+// ("fails loudly") when classifying oracle violations.
+// ---------------------------------------------------------------------------
+
+struct CApiFixture : ::testing::Test {
+  void SetUp() override {
+    cfg.bandwidth_bps = 100e9;
+    cfg.distance_km = 5.0;
+    pair = verbs::make_connected_pair(sim, cfg, 0.0, 0.0);
+    sdr_register_device("neg_a", pair.a.get());
+    sdr_register_device("neg_b", pair.b.get());
+    ctx_a = sdr_context_create("neg_a", nullptr);
+    ctx_b = sdr_context_create("neg_b", nullptr);
+    ASSERT_NE(ctx_a, nullptr);
+    ASSERT_NE(ctx_b, nullptr);
+    attr.mtu = 1024;
+    attr.chunk_size = 1024;
+    attr.max_msg_size = 4 * 1024;
+    attr.max_inflight = 4;
+    qa = sdr_qp_create(ctx_a, &attr);
+    qb = sdr_qp_create(ctx_b, &attr);
+    ASSERT_NE(qa, nullptr);
+    ASSERT_NE(qb, nullptr);
+  }
+  void TearDown() override { sdr_unregister_devices(); }
+
+  void Connect() {
+    core::QpInfo ia, ib;
+    ASSERT_EQ(sdr_qp_info_get(qa, &ia), 0);
+    ASSERT_EQ(sdr_qp_info_get(qb, &ib), 0);
+    ASSERT_EQ(sdr_qp_connect(qa, &ib), 0);
+    ASSERT_EQ(sdr_qp_connect(qb, &ia), 0);
+  }
+
+  sim::Simulator sim;
+  sim::Channel::Config cfg;
+  verbs::NicPair pair;
+  sdr_ctx* ctx_a{nullptr};
+  sdr_ctx* ctx_b{nullptr};
+  core::QpAttr attr;
+  sdr_qp* qa{nullptr};
+  sdr_qp* qb{nullptr};
+  std::vector<std::uint8_t> buf = std::vector<std::uint8_t>(4 * 1024, 0x5A);
+};
+
+TEST_F(CApiFixture, PostBeforeConnectIsRejected) {
+  sdr_snd_wr swr{buf.data(), 1024, 0, 0};
+  sdr_snd_handle* sh = nullptr;
+  EXPECT_EQ(sdr_send_post(qa, &swr, &sh),
+            static_cast<int>(StatusCode::kNotConnected));
+  sdr_mr* mr = sdr_mr_reg(ctx_b, buf.data(), buf.size());
+  sdr_rcv_wr rwr{buf.data(), 1024, mr};
+  sdr_rcv_handle* rh = nullptr;
+  EXPECT_EQ(sdr_recv_post(qb, &rwr, &rh),
+            static_cast<int>(StatusCode::kNotConnected));
+}
+
+TEST_F(CApiFixture, DoubleRecvCompleteIsRejected) {
+  Connect();
+  sdr_mr* mr = sdr_mr_reg(ctx_b, buf.data(), buf.size());
+  sdr_rcv_wr rwr{buf.data(), 1024, mr};
+  sdr_rcv_handle* rh = nullptr;
+  ASSERT_EQ(sdr_recv_post(qb, &rwr, &rh), 0);
+  sdr_snd_wr swr{buf.data(), 1024, 0, 0};
+  sdr_snd_handle* sh = nullptr;
+  ASSERT_EQ(sdr_send_post(qa, &swr, &sh), 0);
+  sim.run();
+  ASSERT_EQ(sdr_recv_complete(rh, qb), 0);
+  // The handle's slot is released; a second complete is an invalid handle.
+  EXPECT_EQ(sdr_recv_complete(rh, qb),
+            static_cast<int>(StatusCode::kInvalidArgument));
+  // So is reading the bitmap or immediate through the dead handle.
+  const std::uint64_t* bitmap = nullptr;
+  std::size_t bits = 0;
+  EXPECT_EQ(sdr_recv_bitmap_get(rh, qb, &bitmap, &bits),
+            static_cast<int>(StatusCode::kInvalidArgument));
+  std::uint32_t imm = 0;
+  EXPECT_EQ(sdr_recv_imm_get(rh, qb, &imm),
+            static_cast<int>(StatusCode::kInvalidArgument));
+}
+
+TEST_F(CApiFixture, OversizeSendIsOutOfRange) {
+  Connect();
+  sdr_snd_wr swr{buf.data(), attr.max_msg_size + attr.chunk_size, 0, 0};
+  sdr_snd_handle* sh = nullptr;
+  EXPECT_EQ(sdr_send_post(qa, &swr, &sh),
+            static_cast<int>(StatusCode::kOutOfRange));
+}
+
+TEST_F(CApiFixture, UnalignedStreamOffsetIsRejected) {
+  Connect();
+  sdr_start_wr start{0, 0};
+  sdr_snd_handle* sh = nullptr;
+  ASSERT_EQ(sdr_send_stream_start(qa, &start, &sh), 0);
+  sdr_continue_wr unaligned{buf.data(), 512, 1024};  // offset % mtu != 0
+  EXPECT_EQ(sdr_send_stream_continue(sh, qa, &unaligned),
+            static_cast<int>(StatusCode::kInvalidArgument));
+}
+
+TEST_F(CApiFixture, ContinueAfterEndIsFailedPrecondition) {
+  Connect();
+  sdr_start_wr start{0, 0};
+  sdr_snd_handle* sh = nullptr;
+  ASSERT_EQ(sdr_send_stream_start(qa, &start, &sh), 0);
+  sdr_continue_wr chunk{buf.data(), 0, 1024};
+  ASSERT_EQ(sdr_send_stream_continue(sh, qa, &chunk), 0);
+  ASSERT_EQ(sdr_send_stream_end(sh, qa), 0);
+  EXPECT_EQ(sdr_send_stream_continue(sh, qa, &chunk),
+            static_cast<int>(StatusCode::kFailedPrecondition));
+}
+
+TEST_F(CApiFixture, SendSlotExhaustionIsResourceExhausted) {
+  Connect();
+  // Fill every send slot (no receiver posted, so none completes).
+  std::vector<sdr_snd_handle*> handles;
+  for (std::size_t i = 0; i < attr.max_inflight; ++i) {
+    sdr_start_wr start{0, 0};
+    sdr_snd_handle* sh = nullptr;
+    ASSERT_EQ(sdr_send_stream_start(qa, &start, &sh), 0) << "slot " << i;
+    handles.push_back(sh);
+  }
+  sdr_start_wr start{0, 0};
+  sdr_snd_handle* sh = nullptr;
+  EXPECT_EQ(sdr_send_stream_start(qa, &start, &sh),
+            static_cast<int>(StatusCode::kResourceExhausted));
+}
+
+TEST_F(CApiFixture, SendPollBeforeCompletionIsNotReady) {
+  Connect();
+  sdr_start_wr start{0, 0};
+  sdr_snd_handle* sh = nullptr;
+  ASSERT_EQ(sdr_send_stream_start(qa, &start, &sh), 0);
+  EXPECT_EQ(sdr_send_poll(sh, qa), static_cast<int>(StatusCode::kNotReady));
+}
+
 }  // namespace

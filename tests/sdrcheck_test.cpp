@@ -1,0 +1,269 @@
+// sdrcheck harness self-tests.
+//
+// Locks in the contracts the CI fuzz jobs rely on:
+//  * seed -> scenario mapping is pinned (a CI seed replays bit-for-bit
+//    locally; the underlying xoshiro256** vectors are pinned in
+//    common_test),
+//  * the shrink ladder is deterministic and monotone,
+//  * a 200-seed smoke batch passes every oracle (the tier-1 gate),
+//  * serial and parallel sweeps produce byte-identical records,
+//  * an intentionally injected protocol bug (off-by-one in the SR bitmap
+//    ACK's cumulative field, armed via a failpoint) is caught by the
+//    oracles and shrunk to a small repro,
+//  * repeated runs do not grow live heap allocations (leak oracle on the
+//    harness itself, same global operator-new hook as datapath_alloc_test
+//    but tracking live count rather than allocation count).
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "common/failpoint.hpp"
+#include "common/units.hpp"
+
+// ---------------------------------------------------------------------------
+// Global live-allocation counter. gtest and the harness allocate freely;
+// tests only compare snapshots around identical repeated runs.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::int64_t> g_live{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t align = static_cast<std::size_t>(a);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) & ~(align - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+// Nothrow variants must be replaced too: std::stable_sort's temporary
+// buffer allocates through nothrow new, and under ASan the unreplaced
+// interceptor would pair with our free-based delete as a mismatch.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t align = static_cast<std::size_t>(a);
+  return std::aligned_alloc(align, (n + align - 1) & ~(align - 1));
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t& t) noexcept {
+  return ::operator new(n, a, t);
+}
+void operator delete(void* p) noexcept {
+  if (p) g_live.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+namespace sdr::check {
+namespace {
+
+// Base seed shared with the CI smoke job (the CLI default).
+constexpr std::uint64_t kSmokeBaseSeed = 0x5EED5EED5EED5EEDULL;
+
+TEST(Scenario, SeedMappingIsPinned) {
+  // Golden pin of generate_scenario(1): any change to the generator's draw
+  // order or the RNG breaks seed reproducibility for recorded CI failures
+  // and must be a conscious, version-noted decision.
+  const Scenario s = generate_scenario(1);
+  EXPECT_DOUBLE_EQ(s.bandwidth_bps, 400 * Gbps);
+  EXPECT_EQ(s.mtu, 512u);
+  EXPECT_EQ(s.packets_per_chunk, 1u);
+  ASSERT_EQ(s.messages.size(), 2u);
+  EXPECT_EQ(s.messages[0].chunks, 7u);
+  EXPECT_EQ(s.messages[1].chunks, 23u);
+  EXPECT_EQ(s.drop, DropKind::kIid);
+  EXPECT_NEAR(s.iid_p, 0.04013, 1e-4);
+  EXPECT_EQ(s.sr_flavor, SrFlavor::kNack);
+  EXPECT_FALSE(s.adaptive_rto);
+  EXPECT_EQ(s.ec_k, 4u);
+  EXPECT_EQ(s.ec_m, 2u);
+  EXPECT_TRUE(s.rc_go_back_n);
+  EXPECT_TRUE(s.perturb_rto);
+}
+
+TEST(Scenario, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {0ull, 7ull, 42ull, 0xDEADBEEFull}) {
+    EXPECT_EQ(generate_scenario(seed).describe(),
+              generate_scenario(seed).describe())
+        << "seed " << seed;
+  }
+}
+
+TEST(Scenario, ShrinkLadderIsDeterministicAndMonotone) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const Scenario full = generate_scenario(seed);
+    std::size_t prev_msgs = full.messages.size() + 1;
+    std::size_t prev_chunks = full.total_chunks() + 1;
+    bool reached_fixpoint = false;
+    for (int level = 0; level <= 32; ++level) {
+      const Scenario a = shrink_scenario(full, level);
+      const Scenario b = shrink_scenario(full, level);
+      ASSERT_EQ(a.describe(), b.describe()) << "seed " << seed;
+      ASSERT_LE(a.messages.size(), prev_msgs);
+      ASSERT_LE(a.total_chunks(), prev_chunks);
+      if (a.drop == DropKind::kScripted) {
+        ASSERT_GE(a.scripted_drops.size(), 1u) << "seed " << seed;
+        for (const std::uint64_t idx : a.scripted_drops) {
+          ASSERT_LT(idx, a.total_data_packets()) << "seed " << seed;
+        }
+      }
+      prev_msgs = a.messages.size();
+      prev_chunks = a.total_chunks();
+      if (fully_shrunk(a)) {
+        reached_fixpoint = true;
+        // Fully shrunk means a single 1-chunk message.
+        ASSERT_EQ(a.messages.size(), 1u);
+        ASSERT_EQ(a.messages[0].chunks, 1u);
+        break;
+      }
+    }
+    ASSERT_TRUE(reached_fixpoint) << "seed " << seed;
+  }
+}
+
+TEST(Sdrcheck, SingleSeedPassesAllOracles) {
+  const CheckOptions opts;
+  const SeedReport report = check_seed(1, opts);
+  EXPECT_TRUE(report.ok()) << report.failure_text();
+  ASSERT_EQ(report.arms.size(), 3u);
+}
+
+TEST(Sdrcheck, Smoke200Seeds) {
+  const CheckOptions opts;
+  const BatchResult batch = check_seeds(kSmokeBaseSeed, 200, opts, 2);
+  EXPECT_TRUE(batch.ok());
+  for (const ShrinkOutcome& shrunk : batch.shrunk) {
+    ADD_FAILURE() << "seed " << shrunk.minimal.seed << " failed ("
+                  << shrunk.repro
+                  << "):\n" << shrunk.minimal.failure_text();
+  }
+}
+
+TEST(Sdrcheck, SerialAndParallelSweepsAreIdentical) {
+  const CheckOptions opts;
+  const BatchResult serial = check_seeds(kSmokeBaseSeed, 40, opts, 1);
+  const BatchResult parallel = check_seeds(kSmokeBaseSeed, 40, opts, 4);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+}
+
+TEST(Sdrcheck, ReproCommandFormat) {
+  EXPECT_EQ(repro_command(17, 0), "sdrcheck --seed=17");
+  EXPECT_EQ(repro_command(17, 3), "sdrcheck --seed=17 --shrink-level=3");
+}
+
+/// First seed >= `from` whose scenario exposes the SR cumulative-ACK bug:
+/// plain RTO flavor (NACK recovery would re-request the skipped chunk and
+/// mask it) with a deterministic scripted drop (so the ACK path observes a
+/// hole in the bitmap).
+std::uint64_t find_sr_rto_scripted_seed(std::uint64_t from) {
+  for (std::uint64_t seed = from; seed < from + 4096; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    if (s.sr_flavor == SrFlavor::kRto && !s.adaptive_rto &&
+        s.drop == DropKind::kScripted) {
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no SR-RTO + scripted-drop seed in range";
+  return from;
+}
+
+TEST(Sdrcheck, InjectedAckOffByOneIsCaughtAndShrunk) {
+  const std::uint64_t seed = find_sr_rto_scripted_seed(100);
+  CheckOptions opts;
+  // The bug lives in the SR path; skipping the other arms keeps the
+  // shrink search fast and the repro focused.
+  opts.run_ec = false;
+  opts.run_rc = false;
+
+  // Sanity: the seed passes with the failpoint disarmed.
+  ASSERT_TRUE(check_seed(seed, opts).ok());
+
+  common::ScopedFailpoint fp("sr.ack_cumulative_off_by_one");
+  const SeedReport broken = check_seed(seed, opts);
+  ASSERT_FALSE(broken.ok())
+      << "injected off-by-one went undetected for seed " << seed;
+  EXPECT_GT(common::failpoint_hits("sr.ack_cumulative_off_by_one"), 0u);
+
+  const ShrinkOutcome shrunk = shrink_failure(seed, opts);
+  ASSERT_FALSE(shrunk.minimal.ok());
+  // Acceptance bar: minimized to a tiny scenario with a one-line repro.
+  EXPECT_LE(shrunk.minimal.scenario.messages.size(), 2u);
+  EXPECT_LE(shrunk.minimal.scenario.scripted_drops.size(), 4u);
+  EXPECT_EQ(shrunk.repro, repro_command(seed, shrunk.level));
+
+  // The repro command's (seed, level) pair replays the same failure.
+  const SeedReport replay = check_seed(seed, opts, shrunk.level);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.scenario.describe(), shrunk.minimal.scenario.describe());
+}
+
+TEST(Sdrcheck, RepeatedRunsDoNotLeak) {
+  const CheckOptions opts;
+  // Warm thread-local pools (payload pool, telemetry instances, allocator
+  // caches) before snapshotting. The bound is <=, not ==: runtimes may
+  // still release a lazily-cached internal allocation on a later run
+  // (observed under TSan), which is the opposite of a leak.
+  ASSERT_TRUE(check_seed(3, opts).ok());
+  const std::int64_t after_first = g_live.load(std::memory_order_relaxed);
+  ASSERT_TRUE(check_seed(3, opts).ok());
+  const std::int64_t after_second = g_live.load(std::memory_order_relaxed);
+  EXPECT_LE(after_second, after_first)
+      << "live allocation count grew across identical runs";
+}
+
+}  // namespace
+}  // namespace sdr::check

@@ -522,5 +522,40 @@ TEST(DuplexLinkTest, IndependentDirections) {
   EXPECT_EQ(bwd, 100);
 }
 
+TEST(ScriptedDropTest, DropsExactlyTheScriptedIndices) {
+  Rng rng(1);
+  ScriptedDrop drop({1, 3});
+  std::vector<bool> fates;
+  for (int i = 0; i < 5; ++i) fates.push_back(drop.should_drop(rng, 100));
+  EXPECT_EQ(fates, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_EQ(drop.unused_count(), 0u);
+  EXPECT_TRUE(drop.unused_indices().empty());
+}
+
+TEST(ScriptedDropTest, ReportsIndicesPastTheLastSend) {
+  // A scripted index the traffic never reaches is almost always a test
+  // author's arithmetic error (the "drop packet 40" of a 30-packet run
+  // silently tests nothing) — it must be observable, not ignored.
+  Rng rng(1);
+  ScriptedDrop drop({0, 7, 9});
+  for (int i = 0; i < 5; ++i) drop.should_drop(rng, 100);
+  EXPECT_EQ(drop.packets_seen(), 5u);
+  EXPECT_EQ(drop.unused_count(), 2u);
+  EXPECT_EQ(drop.unused_indices(), (std::vector<std::uint64_t>{7, 9}));
+}
+
+TEST(ScriptedDropTest, UnusedTracksTheHighWaterAcrossTrials) {
+  Rng rng(1);
+  ScriptedDrop drop({2, 6});
+  for (int i = 0; i < 7; ++i) drop.should_drop(rng, 100);  // reaches 6
+  drop.reset(rng);
+  for (int i = 0; i < 3; ++i) drop.should_drop(rng, 100);  // shorter trial
+  // Index 6 was consumed in the first trial; the short second trial must
+  // not resurrect it as "unused".
+  EXPECT_EQ(drop.unused_count(), 0u);
+  drop.reset(rng);
+  EXPECT_EQ(drop.unused_count(), 0u);
+}
+
 }  // namespace
 }  // namespace sdr::sim

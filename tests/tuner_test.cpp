@@ -107,5 +107,45 @@ TEST(TunerTest, ProfileChunkDropConversion) {
   EXPECT_EQ(link.chunk_bytes, prof.chunk_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// Property tests (sdrcheck satellite): the recommendation must be a pure,
+// reproducible function of its inputs, and stable on a stable link —
+// re-profiling an unchanged channel must not flip the scheme choice.
+// ---------------------------------------------------------------------------
+
+TEST(TunerProperty, RecommendationIsDeterministic) {
+  TunerOptions opt;
+  opt.tail_samples = 500;  // exercise the sampled-tail path, seeded
+  for (double p : {1e-6, 1e-4, 1e-3}) {
+    const auto a = recommend(cross_continent(p), 32u << 20, opt);
+    const auto b = recommend(cross_continent(p), 32u << 20, opt);
+    ASSERT_EQ(a.ranked.size(), b.ranked.size());
+    EXPECT_EQ(a.best.scheme, b.best.scheme);
+    EXPECT_DOUBLE_EQ(a.best.expected_s, b.best.expected_s);
+    EXPECT_DOUBLE_EQ(a.best.p999_s, b.best.p999_s);
+    for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+      EXPECT_EQ(a.ranked[i].scheme, b.ranked[i].scheme);
+      EXPECT_DOUBLE_EQ(a.ranked[i].expected_s, b.ranked[i].expected_s);
+    }
+  }
+}
+
+TEST(TunerProperty, ConvergesOnAStableLink) {
+  // Feed the tuner a profile whose RTT estimate wobbles within a converged
+  // estimator's band (±2%, per RttEstimatorProperty.ConvergesOnAStableLink)
+  // — the recommended scheme must not flip.
+  TunerOptions opt = fast_options();
+  for (double p : {1e-6, 1e-4}) {
+    const auto baseline = recommend(cross_continent(p), 64u << 20, opt);
+    for (double wobble : {0.98, 0.99, 1.01, 1.02}) {
+      LinkProfile prof = cross_continent(p);
+      prof.rtt_s *= wobble;
+      const auto rec = recommend(prof, 64u << 20, opt);
+      EXPECT_EQ(rec.best.scheme, baseline.best.scheme)
+          << "p=" << p << " wobble=" << wobble;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sdr::reliability
