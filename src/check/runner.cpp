@@ -30,6 +30,10 @@ constexpr std::uint64_t kSrArmSalt = 0x51;
 constexpr std::uint64_t kEcArmSalt = 0xEC;
 constexpr std::uint64_t kRcArmSalt = 0x2C;
 
+// RNG stream salt for the far-horizon timer probe (same draws in every arm
+// so the perturbation is identical across the differential comparison).
+constexpr std::uint64_t kFarTimerStream = 0xFA57;
+
 // Event budget for the post-completion quiescence drain: far above any
 // residual timer count a healthy run leaves behind (final-ACK repeats, EC
 // global timeouts), far below anything that would mask a timer livelock.
@@ -223,6 +227,70 @@ void quiesce_and_check(sim::Simulator& sim, ArmResult& r) {
   }
 }
 
+/// Far-horizon timer probe (Scenario::far_timers): schedules timers past
+/// the wheel's 2^36 ns horizon so overflow-heap entries coexist with the
+/// protocol's event stream for the whole run, cancels every other one to
+/// exercise lazy overflow cancellation, then — after the protocol has
+/// drained — fires the survivors and asserts they ran in timestamp order
+/// (FIFO among equal timestamps) at exactly their deadlines.
+struct FarTimerProbe {
+  sim::Simulator* sim{nullptr};
+  std::vector<std::int64_t> expected;  // survivor deadlines, schedule order
+  std::vector<std::int64_t> fired;     // (deadline) appended at fire time
+  std::vector<std::string> errors;
+  std::int64_t last_ns{0};
+
+  void arm(sim::Simulator& simulator, const Scenario& s) {
+    if (!s.far_timers) return;
+    sim = &simulator;
+    Rng rng(derive_seed(s.seed, kFarTimerStream));
+    const auto horizon = static_cast<std::int64_t>(
+        sim::Simulator::kWheelHorizonNs);
+    for (std::size_t i = 0; i < s.far_timer_count; ++i) {
+      const std::int64_t when =
+          horizon + static_cast<std::int64_t>(rng.next_below(
+                        3 * sim::Simulator::kWheelHorizonNs));
+      const sim::EventId id =
+          sim->schedule_at(SimTime{when}, [this, when] {
+            if (sim->now().ns != when) {
+              errors.push_back("far timer fired at t=" +
+                               std::to_string(sim->now().ns) +
+                               "ns, scheduled for " + std::to_string(when) +
+                               "ns");
+            }
+            fired.push_back(when);
+          });
+      if (i % 2 == 1) {
+        // Cancel every other timer: overflow entries are invalidated
+        // lazily, so the heap keeps a stale node until it surfaces.
+        if (!sim->cancel(id)) {
+          errors.push_back("cancelling far timer " + std::to_string(i) +
+                           " failed");
+        }
+      } else {
+        expected.push_back(when);
+        last_ns = std::max(last_ns, when);
+      }
+    }
+  }
+
+  /// Run the simulator to the last survivor and check order. Call after
+  /// the protocol's own completion checks, before the quiesce oracle.
+  void drain_and_check(ArmResult& r) {
+    if (sim == nullptr) return;
+    sim->run_until(SimTime{last_ns});
+    for (std::string& e : errors) r.failures.push_back(std::move(e));
+    std::vector<std::int64_t> want = expected;
+    std::stable_sort(want.begin(), want.end());
+    if (fired != want) {
+      r.failures.push_back(
+          "far-horizon timers fired out of order: " +
+          std::to_string(fired.size()) + " fired of " +
+          std::to_string(want.size()) + " expected");
+    }
+  }
+};
+
 /// First differing offset, or SIZE_MAX when equal.
 std::size_t first_mismatch(const std::uint8_t* a, const std::uint8_t* b,
                            std::size_t n) {
@@ -361,6 +429,8 @@ ArmResult run_protocol_arm(const Scenario& s, const RunnerOptions& opts,
       fabric.sim.schedule(SimTime::from_seconds(s.messages[i].post_delay_s),
                           [p = &run, i] { p->post(i); });
     }
+    FarTimerProbe far_probe;
+    far_probe.arm(fabric.sim, s);
     if (!ec && s.perturb_rto && sr_snd) {
       fabric.sim.schedule(
           SimTime::from_seconds(s.perturb_at_s),
@@ -388,6 +458,7 @@ ArmResult run_protocol_arm(const Scenario& s, const RunnerOptions& opts,
             ", horizon=" + std::to_string(s.horizon_s()) + "s)");
       }
     }
+    far_probe.drain_and_check(r);
     if (all_done && r.failures.empty()) {
       quiesce_and_check(fabric.sim, r);
     }
@@ -520,6 +591,8 @@ ArmResult run_rc_arm(const Scenario& s, const RunnerOptions& opts) {
                             }
                           });
     }
+    FarTimerProbe far_probe;
+    far_probe.arm(fabric.sim, s);
 
     fabric.sim.run_until(SimTime::from_seconds(s.horizon_s()));
 
@@ -584,6 +657,7 @@ ArmResult run_rc_arm(const Scenario& s, const RunnerOptions& opts) {
                              std::to_string(miss));
       }
     }
+    far_probe.drain_and_check(r);
     if (r.failures.empty()) {
       quiesce_and_check(fabric.sim, r);
     }

@@ -126,6 +126,9 @@ std::string Scenario::describe() const {
     out += " perturb(rto*=" + format_compact(perturb_rto_multiple) +
            "@t=" + format_compact(perturb_at_s) + ")";
   }
+  if (far_timers) {
+    out += " far_timers=" + std::to_string(far_timer_count);
+  }
   return out;
 }
 
@@ -210,6 +213,13 @@ Scenario generate_scenario(std::uint64_t seed) {
     s.perturb_at_s = max_delay + (0.5 + 4.5 * rng.next_double()) * rtt;
     s.perturb_rto_multiple = 0.5 + 1.5 * rng.next_double();
   }
+
+  // Appended after every pre-existing draw so the seed->scenario mapping of
+  // all earlier fields (and the golden pin of seed 1) is unchanged.
+  if (rng.bernoulli(0.35)) {
+    s.far_timers = true;
+    s.far_timer_count = 8 + rng.next_below(25);  // 8..32 far timers
+  }
   return s;
 }
 
@@ -256,11 +266,13 @@ bool shrink_once(Scenario& s) {
   }
   // Rule 4: strip the channel/timer mutations.
   if (s.reorder_probability > 0.0 || s.duplicate_probability > 0.0 ||
-      s.perturb_rto) {
+      s.perturb_rto || s.far_timers) {
     s.reorder_probability = 0.0;
     s.reorder_extra_delay_s = 0.0;
     s.duplicate_probability = 0.0;
     s.perturb_rto = false;
+    s.far_timers = false;
+    s.far_timer_count = 0;
     return true;
   }
   return false;

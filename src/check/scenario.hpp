@@ -85,6 +85,15 @@ struct Scenario {
   double perturb_at_s{0.0};
   double perturb_rto_multiple{1.0};
 
+  // Far-horizon timer perturbation (timer-wheel overflow exercise): the
+  // runner schedules this many timers past the wheel's 2^36 ns (~68.7 s)
+  // horizon alongside the protocol run, cancels every other one, and
+  // asserts the survivors fire in timestamp order at their exact deadlines
+  // after the protocol drains. Overflow-heap entries thereby coexist with
+  // (and must never disturb) the protocol's event stream.
+  bool far_timers{false};
+  std::size_t far_timer_count{0};
+
   std::size_t chunk_bytes() const { return mtu * packets_per_chunk; }
   double rtt_s() const;
   /// Total first-transmission data packets across all messages (parity and
@@ -109,7 +118,7 @@ Scenario generate_scenario(std::uint64_t seed);
 /// that still bites, in order: halve the message count (floor 1), halve
 /// every message's chunk count (floor 1), trim the scripted drop schedule
 /// to its first half (floor 4, then 1), disable reordering/duplication/
-/// perturbation. Scripted indices are re-normalized (mod the shrunk
+/// perturbation/far timers. Scripted indices are re-normalized (mod the shrunk
 /// packet count, deduplicated) so at least one drop survives every step.
 /// Levels beyond the fixpoint return the fixpoint.
 Scenario shrink_scenario(const Scenario& full, int level);

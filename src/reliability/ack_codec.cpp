@@ -26,6 +26,12 @@ bool read(const std::uint8_t* data, std::size_t length, std::size_t& cursor,
 
 std::vector<std::uint8_t> encode_control(const ControlMessage& msg) {
   std::vector<std::uint8_t> out;
+  encode_control(msg, out);
+  return out;
+}
+
+void encode_control(const ControlMessage& msg, std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(32 + msg.selective.size() * 8 + msg.indices.size() * 4);
   append<std::uint8_t>(out, static_cast<std::uint8_t>(msg.type));
   append<std::uint64_t>(out, msg.msg_number);
@@ -41,12 +47,17 @@ std::vector<std::uint8_t> encode_control(const ControlMessage& msg) {
     out.resize(at + msg.payload.size());
     std::memcpy(out.data() + at, msg.payload.data(), msg.payload.size());
   }
-  return out;
 }
 
 std::optional<ControlMessage> decode_control(const std::uint8_t* data,
                                              std::size_t length) {
   ControlMessage msg;
+  if (!decode_control(data, length, msg)) return std::nullopt;
+  return msg;
+}
+
+bool decode_control(const std::uint8_t* data, std::size_t length,
+                    ControlMessage& msg) {
   std::size_t cursor = 0;
   std::uint8_t type = 0;
   std::uint16_t n_words = 0;
@@ -59,24 +70,28 @@ std::optional<ControlMessage> decode_control(const std::uint8_t* data,
       !read(data, length, cursor, &n_words) ||
       !read(data, length, cursor, &n_indices) ||
       !read(data, length, cursor, &n_payload)) {
-    return std::nullopt;
+    return false;
   }
-  if (type < 1 || type > 6) return std::nullopt;
+  if (type < 1 || type > 6) return false;
   msg.type = static_cast<ControlType>(type);
   msg.selective.resize(n_words);
   for (std::uint16_t i = 0; i < n_words; ++i) {
-    if (!read(data, length, cursor, &msg.selective[i])) return std::nullopt;
+    if (!read(data, length, cursor, &msg.selective[i])) return false;
   }
   msg.indices.resize(n_indices);
   for (std::uint16_t i = 0; i < n_indices; ++i) {
-    if (!read(data, length, cursor, &msg.indices[i])) return std::nullopt;
+    if (!read(data, length, cursor, &msg.indices[i])) return false;
   }
+  // assign/resize rather than fresh vectors: a reused ControlMessage keeps
+  // its capacity, so steady-state decoding allocates nothing.
   if (n_payload > 0) {
-    if (cursor + n_payload > length) return std::nullopt;
+    if (cursor + n_payload > length) return false;
     msg.payload.assign(data + cursor, data + cursor + n_payload);
     cursor += n_payload;
+  } else {
+    msg.payload.clear();
   }
-  return msg;
+  return true;
 }
 
 }  // namespace sdr::reliability

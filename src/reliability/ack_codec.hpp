@@ -42,12 +42,35 @@ struct ControlMessage {
   bool operator==(const ControlMessage&) const = default;
 };
 
+/// Reset a reused (scratch) ControlMessage to an empty message of the
+/// given type, keeping its vectors' capacity.
+inline void reset_control(ControlMessage& msg, ControlType type,
+                          std::uint64_t msg_number) {
+  msg.type = type;
+  msg.msg_number = msg_number;
+  msg.cumulative = 0;
+  msg.selective_base = 0;
+  msg.selective.clear();
+  msg.indices.clear();
+  msg.payload.clear();
+}
+
 /// Serialize into a datagram payload (must fit the control MTU; the window
 /// and index list are truncated by the callers to guarantee this).
 std::vector<std::uint8_t> encode_control(const ControlMessage& msg);
 
+/// Scratch-buffer variant: serializes into `out` (cleared first), reusing
+/// its capacity — the per-ACK hot path allocates nothing in steady state.
+void encode_control(const ControlMessage& msg, std::vector<std::uint8_t>& out);
+
 /// Parse; returns std::nullopt on malformed/truncated input.
 std::optional<ControlMessage> decode_control(const std::uint8_t* data,
                                              std::size_t length);
+
+/// Scratch-buffer variant: parses into `out`, reusing its vectors'
+/// capacity. Returns false on malformed/truncated input (`out` is then in
+/// an unspecified but valid state).
+bool decode_control(const std::uint8_t* data, std::size_t length,
+                    ControlMessage& out);
 
 }  // namespace sdr::reliability

@@ -65,16 +65,27 @@ Status SrSender::write(const std::uint8_t* data, std::size_t length,
   if (Status s = qp_.send_stream_start(0, false, &handle); !s) return s;
 
   const std::uint64_t msg_number = handle->msg_number();
-  MsgState& msg = messages_[msg_number];
+  MsgState* state;
+  if (spare_) {
+    // Reuse the node (and the per-chunk vector capacity inside it) of a
+    // finished message instead of allocating a fresh one.
+    spare_.key() = msg_number;
+    state = &messages_.insert(std::move(spare_)).position->second;
+  } else {
+    state = &messages_[msg_number];
+  }
+  MsgState& msg = *state;
   msg.handle = handle;
   msg.data = data;
   msg.length = length;
   msg.chunks = (length + chunk_bytes_ - 1) / chunk_bytes_;
+  msg.acked_count = 0;
   msg.acked.resize(msg.chunks);
   msg.timers.assign(msg.chunks, sim::EventId{});
   msg.sent_at_s.assign(msg.chunks, -1.0);
   msg.retries.assign(msg.chunks, 0);
   msg.retransmitted.resize(msg.chunks);
+  msg.cts_at_s = -1.0;
   msg.done = std::move(done);
   ++stats_.messages;
 
@@ -153,9 +164,8 @@ void SrSender::arm_timer(std::uint64_t msg_number, std::size_t chunk) {
 }
 
 void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
-  const auto parsed = decode_control(data, length);
-  if (!parsed) return;
-  const ControlMessage& msg = *parsed;
+  if (!decode_control(data, length, ctrl_scratch_)) return;
+  const ControlMessage& msg = ctrl_scratch_;
   const auto it = messages_.find(msg.msg_number);
   if (it == messages_.end()) return;  // stale ACK for a finished message
 
@@ -226,11 +236,18 @@ void SrSender::mark_acked(MsgState& msg, std::size_t chunk) {
 void SrSender::finish(std::uint64_t msg_number) {
   const auto it = messages_.find(msg_number);
   if (it == messages_.end()) return;
-  MsgState msg = std::move(it->second);
-  messages_.erase(it);
+  // Extract rather than erase: the node (with its vector capacity) is kept
+  // for the next write(). The callback runs after the extraction so a
+  // re-entrant write() sees a consistent map either way.
+  auto node = messages_.extract(it);
+  MsgState& msg = node.mapped();
   qp_.send_stream_end(msg.handle);
   reap(msg.handle);
-  if (msg.done) msg.done(Status::ok());
+  DoneFn done = std::move(msg.done);
+  msg.handle = nullptr;
+  msg.data = nullptr;
+  spare_ = std::move(node);
+  if (done) done(Status::ok());
 }
 
 void SrSender::reap(core::SendHandle* handle) {
@@ -275,11 +292,20 @@ Status SrReceiver::expect(std::uint8_t* buffer, std::size_t length,
   core::RecvHandle* handle = nullptr;
   if (Status s = qp_.recv_post(buffer, length, mr, &handle); !s) return s;
   const std::uint64_t msg_number = handle->msg_number();
-  MsgState& msg = messages_[msg_number];
+  MsgState* state;
+  if (spare_) {
+    // Reuse the completed-message node, keeping its vector capacity.
+    spare_.key() = msg_number;
+    state = &messages_.insert(std::move(spare_)).position->second;
+  } else {
+    state = &messages_[msg_number];
+  }
+  MsgState& msg = *state;
   msg.handle = handle;
   msg.chunks = handle->chunk_count();
   msg.done = std::move(done);
   msg.last_nack_s.assign(msg.chunks, -1.0);
+  msg.complete = false;
   ++stats_.messages;
   ack_tick(msg_number);
   return Status::ok();
@@ -302,9 +328,8 @@ void SrReceiver::send_ack(MsgState& msg) {
   const AtomicBitmap* bitmap = nullptr;
   if (!qp_.recv_bitmap_get(msg.handle, &bitmap)) return;
 
-  ControlMessage ack;
-  ack.type = ControlType::kSrAck;
-  ack.msg_number = msg.handle->msg_number();
+  ControlMessage& ack = ctrl_scratch_;
+  reset_control(ack, ControlType::kSrAck, msg.handle->msg_number());
   std::size_t cumulative = bitmap->first_zero(msg.chunks);
   // Failpoint for the conformance harness (src/check/): claim one chunk
   // beyond the true cumulative point, silently "acknowledging" the first
@@ -323,8 +348,8 @@ void SrReceiver::send_ack(MsgState& msg) {
     if (wi >= bitmap_words(msg.chunks)) break;
     ack.selective.push_back(bitmap->load_word(wi));
   }
-  const std::vector<std::uint8_t> wire = encode_control(ack);
-  control_.send(wire.data(), wire.size());
+  encode_control(ack, wire_scratch_);
+  control_.send(wire_scratch_.data(), wire_scratch_.size());
   ++stats_.acks_sent;
   if (telemetry::tracing()) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
@@ -338,9 +363,10 @@ void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
   const std::size_t cumulative = bitmap->first_zero(msg.chunks);
   if (completed_chunk < cumulative + config_.nack_gap_threshold) return;
 
-  ControlMessage nack;
-  nack.type = ControlType::kSrNack;
-  nack.msg_number = msg.handle->msg_number();
+  // send_ack and maybe_nack never overlap within one callback, so they can
+  // share the scratch message.
+  ControlMessage& nack = ctrl_scratch_;
+  reset_control(nack, ControlType::kSrNack, msg.handle->msg_number());
   const double now_s = sim_.now().seconds();
   // Word scan for the holes in [cumulative, completed_chunk): one bitmap
   // load per 64 chunks, countr_zero to hop between missing ones.
@@ -364,8 +390,8 @@ void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
     c = word_base + 64;
   }
   if (nack.indices.empty()) return;
-  const std::vector<std::uint8_t> wire = encode_control(nack);
-  control_.send(wire.data(), wire.size());
+  encode_control(nack, wire_scratch_);
+  control_.send(wire_scratch_.data(), wire_scratch_.size());
   ++stats_.nacks_sent;
   if (telemetry::tracing()) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kNackSent,
@@ -386,30 +412,40 @@ void SrReceiver::ack_tick(std::uint64_t msg_number) {
 void SrReceiver::complete(MsgState& msg, std::uint64_t msg_number) {
   msg.complete = true;
   // Final ACK (repeated to survive control-path drops).
-  ControlMessage ack;
-  ack.type = ControlType::kSrAck;
-  ack.msg_number = msg_number;
-  ack.cumulative = static_cast<std::uint32_t>(msg.chunks);
-  const std::vector<std::uint8_t> wire = encode_control(ack);
-  control_.send(wire.data(), wire.size());
+  const std::uint32_t cumulative = static_cast<std::uint32_t>(msg.chunks);
+  ControlMessage& ack = ctrl_scratch_;
+  reset_control(ack, ControlType::kSrAck, msg_number);
+  ack.cumulative = cumulative;
+  encode_control(ack, wire_scratch_);
+  control_.send(wire_scratch_.data(), wire_scratch_.size());
   ++stats_.acks_sent;
   if (telemetry::tracing()) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
-                             0, msg_number, ack.cumulative);
+                             0, msg_number, cumulative);
   }
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
-    // Init-capture: `wire` is const, and a const member would degrade the
-    // event's relocation to a copy (InlineFunction requires nothrow moves).
+    // The repeat rebuilds the (tiny, constant) final ACK into the scratch
+    // buffers at fire time instead of capturing a copy of the wire bytes —
+    // the capture stays within the inline event budget and the repeat path
+    // allocates nothing.
     sim_.schedule(SimTime::from_seconds(config_.ack_interval_s *
                                         static_cast<double>(r)),
-                  [this, ack_wire = wire] {
-                    control_.send(ack_wire.data(), ack_wire.size());
+                  [this, msg_number, cumulative] {
+                    ControlMessage& repeat = ctrl_scratch_;
+                    reset_control(repeat, ControlType::kSrAck, msg_number);
+                    repeat.cumulative = cumulative;
+                    encode_control(repeat, wire_scratch_);
+                    control_.send(wire_scratch_.data(), wire_scratch_.size());
                     ++stats_.acks_sent;
                   });
   }
   qp_.recv_complete(msg.handle);
   DoneFn done = std::move(msg.done);
-  messages_.erase(msg_number);
+  // Keep the node for the next expect() instead of deallocating it.
+  if (auto node = messages_.extract(msg_number)) {
+    node.mapped().handle = nullptr;
+    spare_ = std::move(node);
+  }
   if (done) done(Status::ok());
 }
 

@@ -129,6 +129,13 @@ class SrSender {
   SrProtoConfig config_;
   std::size_t chunk_bytes_;
   std::unordered_map<std::uint64_t, MsgState> messages_;
+  /// Finished-message state kept for reuse: the map node and the per-chunk
+  /// vectors inside it retain their capacity, so a steady stream of
+  /// messages allocates nothing after the first (lossy SR is part of the
+  /// zero-alloc datapath gate).
+  std::unordered_map<std::uint64_t, MsgState>::node_type spare_;
+  /// Decode scratch: reused per control message, capacity sticks.
+  ControlMessage ctrl_scratch_;
   RttEstimator estimator_;
   Rng rng_{0x5EEDCAFE};  // retransmission-timer jitter
   SrSenderStats stats_;
@@ -181,6 +188,12 @@ class SrReceiver {
   LinkProfile profile_;
   SrProtoConfig config_;
   std::unordered_map<std::uint64_t, MsgState> messages_;
+  /// Completed-message node kept for reuse (see SrSender::spare_).
+  std::unordered_map<std::uint64_t, MsgState>::node_type spare_;
+  /// ACK/NACK build + wire scratch: reused per control send so the
+  /// steady-state ACK path allocates nothing.
+  ControlMessage ctrl_scratch_;
+  std::vector<std::uint8_t> wire_scratch_;
   SrReceiverStats stats_;
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };

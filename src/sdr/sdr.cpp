@@ -73,6 +73,10 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
   if (ud) ud_staging_.resize(n_qps);
   for (std::size_t i = 0; i < n_qps; ++i) {
     auto cq = std::make_unique<verbs::CompletionQueue>(1 << 16);
+    // One growth step up front: a channel CQ that sees its first packet
+    // deep into a run (rare generation/channel combinations) must not
+    // allocate on the data path (the zero-alloc steady-state gate).
+    cq->reserve(64);
     verbs::QpConfig cfg;
     cfg.type = ud ? verbs::QpType::kUD : verbs::QpType::kUC;
     cfg.mtu = attr_.mtu;

@@ -18,6 +18,13 @@ Channel::Channel(Simulator& simulator, Config config,
   if (telemetry::enabled()) register_metrics();
 }
 
+Channel::~Channel() {
+  // The drain event captures `this`; disarm it in case the simulator keeps
+  // running after the channel is torn down. (Stale handles cancel as
+  // no-ops.)
+  if (drain_event_.valid()) sim_.cancel(drain_event_);
+}
+
 void Channel::register_metrics() {
   auto& reg = telemetry::registry();
   tele_ = telemetry::Scope(reg, reg.instance_name("sim.channel"));
@@ -91,8 +98,10 @@ void Channel::send(Packet packet) {
   }
 
   SimTime arrival = next_free_ + propagation_;
+  bool reordered = false;
   if (config_.reorder_probability > 0.0 &&
       rng_.bernoulli(config_.reorder_probability)) {
+    reordered = true;
     ++stats_.reordered_packets;
     if (telemetry::tracing()) {
       trace_packet(telemetry::TraceEventType::kReordered, packet);
@@ -116,7 +125,68 @@ void Channel::send(Packet packet) {
     sim_.schedule_at(arrival + propagation_,
                      [this, copy] { deliver_slot(copy); });
   }
-  sim_.schedule_at(arrival, [this, slot] { deliver_slot(slot); });
+  if (reordered) {
+    // Held-back packets jump ahead of later FIFO arrivals, so they keep
+    // their own delivery event.
+    sim_.schedule_at(arrival, [this, slot] { deliver_slot(slot); });
+    return;
+  }
+  fifo_push(slot, arrival);
+  // First packet of a burst arms the drain; inside a drain firing the
+  // handler re-arms itself after delivering, so a receiver callback that
+  // re-enters send() must not schedule a second one.
+  if (fifo_count_ == 1 && !in_drain_) {
+    drain_event_ = sim_.schedule_at(arrival, [this] { drain_fifo(); });
+  }
+}
+
+void Channel::fifo_push(std::uint32_t slot, SimTime arrival) {
+  assert((fifo_count_ == 0 ||
+          fifo_[(fifo_head_ + fifo_count_ - 1) & (fifo_.size() - 1)]
+                  .arrival_ns <= arrival.ns) &&
+         "FIFO arrivals must be monotone");
+  if (fifo_count_ == fifo_.size()) fifo_grow();
+  fifo_[(fifo_head_ + fifo_count_) & (fifo_.size() - 1)] =
+      FifoEntry{slot, arrival.ns};
+  ++fifo_count_;
+}
+
+void Channel::fifo_grow() {
+  const std::size_t cap = fifo_.empty() ? 64 : fifo_.size() * 2;
+  std::vector<FifoEntry> grown(cap);
+  for (std::size_t i = 0; i < fifo_count_; ++i) {
+    grown[i] = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)];
+  }
+  fifo_ = std::move(grown);
+  fifo_head_ = 0;
+}
+
+void Channel::drain_fifo() {
+  drain_event_ = EventId{};
+  in_drain_ = true;
+  for (;;) {
+    const FifoEntry entry = fifo_[fifo_head_];
+    fifo_head_ = (fifo_head_ + 1) & (fifo_.size() - 1);
+    --fifo_count_;
+    deliver_slot(entry.slot);
+    if (fifo_count_ == 0) break;
+    const SimTime next_arrival{fifo_[fifo_head_].arrival_ns};
+    // Keep delivering from this one firing as long as nothing else in the
+    // simulator is due first. A pending event at or before the next
+    // arrival (a reordered packet, a duplicate copy, a protocol timer, a
+    // callback-scheduled event — the receiver runs inside this loop and
+    // may arm new ones) must interleave in its own firing, so hand back to
+    // the event core and resume afterwards; rescheduling gets a fresh
+    // sequence number, which keeps same-timestamp FIFO order with events
+    // scheduled up to this point.
+    if (sim_.next_deadline(next_arrival) <= next_arrival) break;
+    sim_.advance_now(next_arrival);
+  }
+  in_drain_ = false;
+  if (fifo_count_ != 0) {
+    drain_event_ = sim_.schedule_at(SimTime{fifo_[fifo_head_].arrival_ns},
+                                    [this] { drain_fifo(); });
+  }
 }
 
 std::uint32_t Channel::acquire_slot(Packet&& packet) {

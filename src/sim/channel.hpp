@@ -65,6 +65,7 @@ class Channel {
 
   Channel(Simulator& simulator, Config config,
           std::unique_ptr<DropModel> drop_model);
+  ~Channel();
 
   /// Register the receive callback (exactly one receiver per channel).
   void set_receiver(DeliverFn deliver) { deliver_ = std::move(deliver); }
@@ -106,9 +107,26 @@ class Channel {
     std::uint32_t next_free{kNoSlot};
   };
 
+  // Batched in-order delivery: packets that arrive in send order (the
+  // common case — serialization start times are monotone and propagation is
+  // constant) go through a per-channel FIFO ring drained by a single
+  // self-rescheduling simulator event, so the event core sees one pending
+  // delivery per channel instead of one per in-flight packet, and each
+  // reschedule is a short serialization-scale delta (a level-0/1 wheel
+  // link) instead of a propagation-scale one that must cascade down.
+  // Reordered packets and duplicate copies arrive out of FIFO order and
+  // keep the one-event-per-packet path.
+  struct FifoEntry {
+    std::uint32_t slot;
+    std::int64_t arrival_ns;
+  };
+
   std::uint32_t acquire_slot(Packet&& packet);
   std::uint32_t acquire_slot_copy(std::uint32_t from);
   void deliver_slot(std::uint32_t slot);
+  void fifo_push(std::uint32_t slot, SimTime arrival);
+  void fifo_grow();
+  void drain_fifo();
   void register_metrics();
   void trace_packet(telemetry::TraceEventType type, const Packet& packet);
 
@@ -123,6 +141,11 @@ class Channel {
   std::uint64_t next_packet_id_{0};
   std::vector<PoolSlot> pool_;
   std::uint32_t free_head_{kNoSlot};
+  std::vector<FifoEntry> fifo_;  // ring buffer, capacity a power of two
+  std::size_t fifo_head_{0};
+  std::size_t fifo_count_{0};
+  EventId drain_event_;
+  bool in_drain_{false};
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 

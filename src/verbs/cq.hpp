@@ -63,6 +63,15 @@ class CompletionQueue {
     return cqe;
   }
 
+  /// Pre-grow the ring to hold `n` entries (clamped to the configured
+  /// capacity) so the first completions on a fresh CQ do not pay the
+  /// initial growth inside the measured data path. Lazy doubling still
+  /// covers bursts beyond the pre-sized depth.
+  void reserve(std::size_t n) {
+    if (n > capacity_) n = capacity_;
+    while (ring_.size() < n) grow();
+  }
+
   std::size_t size() const { return tail_ - head_; }
   bool empty() const { return head_ == tail_; }
   std::size_t capacity() const { return capacity_; }

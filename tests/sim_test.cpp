@@ -199,6 +199,108 @@ TEST(SimulatorTest, ManyEventsStress) {
 }
 
 // ---------------------------------------------------------------------------
+// Timer-wheel edge cases: overflow horizon, cascades, bucket boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, FarFutureOverflowFiresInOrderAfterCascades) {
+  // Events past the wheel horizon start in the overflow heap, migrate into
+  // coarse buckets as the cursor approaches, cascade down to level 0, and
+  // must fire in global timestamp order (FIFO among equal timestamps).
+  Simulator sim;
+  std::vector<int> seen;
+  const auto h = static_cast<std::int64_t>(Simulator::kWheelHorizonNs);
+  sim.schedule_at(SimTime{3 * h + 123}, [&] { seen.push_back(6); });
+  sim.schedule_at(SimTime{h + 7}, [&] { seen.push_back(3); });
+  sim.schedule_at(SimTime{h + 7}, [&] { seen.push_back(4); });  // same-ns FIFO
+  sim.schedule_at(SimTime{h - 1}, [&] { seen.push_back(2); });  // in-wheel
+  sim.schedule_at(SimTime{42}, [&] { seen.push_back(1); });
+  sim.schedule_at(SimTime{2 * h}, [&] { seen.push_back(5); });
+  EXPECT_EQ(sim.overflow_pending(), 4u);
+  EXPECT_EQ(sim.run(), 6u);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(sim.now().ns, 3 * h + 123);
+  EXPECT_EQ(sim.overflow_pending(), 0u);
+}
+
+TEST(SimulatorTest, CancelHeavyChurnKeepsPoolBounded) {
+  // Schedule/cancel churn across both the wheel and the overflow heap:
+  // pool slots must track the high-water mark of *live* events (2 here),
+  // not the number of events ever scheduled. Stale overflow heap entries
+  // are discarded lazily — the next run() sweeps every one of them.
+  Simulator sim;
+  const auto h = static_cast<std::int64_t>(Simulator::kWheelHorizonNs);
+  int fired = 0;
+  for (int round = 0; round < 50000; ++round) {
+    const EventId near = sim.schedule_at(
+        SimTime{100 + (round % 977)}, [&] { ++fired; });
+    const EventId far = sim.schedule_at(
+        SimTime{h + (round % 4096)}, [&] { ++fired; });
+    EXPECT_TRUE(sim.cancel(near));
+    EXPECT_TRUE(sim.cancel(far));
+  }
+  EXPECT_LE(sim.pool_slots(), 4u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.overflow_pending(), 0u);
+}
+
+TEST(SimulatorTest, SameTickFifoAcrossBucketBoundaries) {
+  // Two events for tick 197 land in a level-1 bucket (scheduled from t=0,
+  // which differs from 197 in the second 6-bit group) and cascade to level
+  // 0 when the cursor reaches their 64-tick group; a third is scheduled
+  // *inside* that group (from the t=192 handler) straight into the level-0
+  // bucket. Scheduling order must survive the cascade.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{197}, [&] { order.push_back(0); });
+  sim.schedule_at(SimTime{197}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{192}, [&] {
+    sim.schedule_at(SimTime{197}, [&] { order.push_back(2); });
+  });
+  EXPECT_EQ(sim.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilExactlyOnBucketEdge) {
+  // 64 and 4096 are level-1 / level-2 bucket boundaries: deadlines landing
+  // exactly on them must fire boundary events and stop the clock there.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime{63}, [&] { ++fired; });
+  sim.schedule_at(SimTime{64}, [&] { ++fired; });
+  sim.schedule_at(SimTime{65}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime{64}), 2u);
+  EXPECT_EQ(sim.now().ns, 64);
+  sim.schedule_at(SimTime{4096}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime{4095}), 1u);  // the event at 65 only
+  EXPECT_EQ(sim.now().ns, 4095);
+  EXPECT_EQ(sim.run_until(SimTime{4096}), 1u);
+  EXPECT_EQ(sim.now().ns, 4096);
+  EXPECT_EQ(fired, 4);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, NextDeadlineProbeAndAdvanceNow) {
+  // The batched-delivery hooks: next_deadline() answers "does anything fire
+  // at or before t" without popping, and advance_now() moves the clock in
+  // the gap it vouched for.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime{500}, [&] { ++fired; });
+  EXPECT_EQ(sim.next_deadline(SimTime{499}), SimTime::max());
+  EXPECT_EQ(sim.next_deadline(SimTime{500}).ns, 500);
+  EXPECT_EQ(sim.next_deadline(SimTime{10000}).ns, 500);
+  sim.advance_now(SimTime{499});
+  EXPECT_EQ(sim.now().ns, 499);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, 500);
+  EXPECT_EQ(sim.next_deadline(SimTime{1 << 30}), SimTime::max());
+}
+
+// ---------------------------------------------------------------------------
 // Drop models
 // ---------------------------------------------------------------------------
 
