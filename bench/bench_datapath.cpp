@@ -121,6 +121,7 @@ void report(const char* workload, const Measured& m) {
 // ---------------------------------------------------------------------------
 Measured run_sdr_clean(int iterations, int warmup, int inflight,
                        std::size_t msg_bytes) {
+  if (telemetry::spanning()) telemetry::spans().track("sdr_clean");
   sim::Simulator sim;
   sim::Channel::Config cfg;
   cfg.bandwidth_bps = 400 * Gbps;
@@ -220,6 +221,7 @@ Measured run_sdr_clean(int iterations, int warmup, int inflight,
 // rewind and timeout retransmission — the commodity-NIC baseline path.
 // ---------------------------------------------------------------------------
 Measured run_rc_lossy(int iterations, int warmup, std::size_t msg_bytes) {
+  if (telemetry::spanning()) telemetry::spans().track("rc_lossy");
   sim::Simulator sim;
   sim::Channel::Config cfg;
   cfg.bandwidth_bps = 400 * Gbps;
@@ -304,6 +306,7 @@ Measured run_rc_lossy(int iterations, int warmup, std::size_t msg_bytes) {
 // reported honestly rather than forced to zero.
 // ---------------------------------------------------------------------------
 Measured run_sdr_lossy_sr(int iterations, int warmup, std::size_t msg_bytes) {
+  if (telemetry::spanning()) telemetry::spans().track("sdr_lossy_sr");
   sim::Simulator sim;
   sim::Channel::Config cfg;
   cfg.bandwidth_bps = 100 * Gbps;
@@ -384,6 +387,9 @@ Measured run_sdr_lossy_sr(int iterations, int warmup, std::size_t msg_bytes) {
 }  // namespace sdr
 
 int main(int argc, char** argv) {
+  // Strips --trace-perfetto=<file> / --profile / --telemetry-out=<dir>
+  // before the positional scale argument is read.
+  sdr::bench::TelemetrySession telemetry(&argc, argv);
   const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
   auto scaled = [scale](int n, int floor_n) {
     const int v = static_cast<int>(static_cast<double>(n) * scale);

@@ -36,6 +36,14 @@ namespace sdr::bench {
 /// registry, arms the packet tracer, and on destruction writes
 /// `metrics.jsonl`, `trace.jsonl`, and `timeseries.csv` into the directory.
 ///
+/// Two further flags are independent of `--telemetry-out`:
+///   --trace-perfetto=<file>  arm the causal span recorder and write a
+///                            Chrome trace-event JSON (open it in Perfetto
+///                            or chrome://tracing) at destruction.
+///   --profile                arm the hot-loop profiler and print a
+///                            wall-clock self-time table per subsystem
+///                            category to stderr at destruction.
+///
 /// Benches that drive a simulator can additionally sample a periodic time
 /// series via `TelemetrySession::attach_sampler(sim)`.
 class TelemetrySession {
@@ -48,13 +56,22 @@ class TelemetrySession {
         out_dir_ = arg + 16;
       } else if (std::strncmp(arg, "--telemetry-period=", 19) == 0) {
         period_s_ = std::strtod(arg + 19, nullptr);
+      } else if (std::strncmp(arg, "--trace-perfetto=", 17) == 0) {
+        perfetto_path_ = arg + 17;
+      } else if (std::strcmp(arg, "--profile") == 0) {
+        profile_ = true;
       } else {
         argv[out++] = argv[in];
       }
     }
     *argc = out;
     argv[out] = nullptr;
-    if (out_dir_.empty()) return;
+    if (!perfetto_path_.empty()) telemetry::spans().arm();
+    if (profile_) telemetry::profiler().arm();
+    if (out_dir_.empty()) {
+      if (!perfetto_path_.empty() || profile_) instance_ = this;
+      return;
+    }
 
     active_ = true;
     telemetry::registry().enable();
@@ -65,7 +82,32 @@ class TelemetrySession {
   }
 
   ~TelemetrySession() {
-    if (!active_) return;
+    if (!perfetto_path_.empty()) {
+      const std::string json = telemetry::spans().to_chrome_json();
+      std::FILE* f = std::fopen(perfetto_path_.c_str(), "w");
+      if (f) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr,
+                     "[telemetry] wrote %zu spans (%llu truncated) to %s\n",
+                     telemetry::spans().size(),
+                     static_cast<unsigned long long>(
+                         telemetry::spans().truncated()),
+                     perfetto_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[telemetry] cannot write %s\n",
+                     perfetto_path_.c_str());
+      }
+      telemetry::spans().disarm();
+    }
+    if (profile_) {
+      std::fprintf(stderr, "%s", telemetry::profiler().table().c_str());
+      telemetry::profiler().disarm();
+    }
+    if (!active_) {
+      if (instance_ == this) instance_ = nullptr;
+      return;
+    }
     instance_ = nullptr;
     std::error_code ec;
     std::filesystem::create_directories(out_dir_, ec);
@@ -130,8 +172,10 @@ class TelemetrySession {
 
   inline static TelemetrySession* instance_ = nullptr;
   std::string out_dir_;
+  std::string perfetto_path_;
   double period_s_{1e-3};
   bool active_{false};
+  bool profile_{false};
   bool adopted_{false};
   std::string sweep_metrics_jsonl_;
   std::string sweep_trace_jsonl_;

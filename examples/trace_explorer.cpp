@@ -1,26 +1,30 @@
-// Trace explorer: replay a lossy SR transfer with the packet-lifecycle
-// tracer armed and print one message's annotated timeline — the journey of
-// a chunk that was dropped on the wire and later retransmitted, from
-// `posted` through `dropped`, `rto_fired`/`retransmit`, to `delivered`,
-// `cqe`, `bitmap_update` and finally `msg_complete`.
+// Trace explorer: replay a lossy SR transfer with the causal span recorder
+// armed and print the span tree of the transferred message — every chunk
+// that needed recovery is expanded into its wire attempts and the protocol
+// decisions between them, with cause links:
 //
-// This is the debugging workflow the telemetry layer exists for: wire-level
-// events (tx/dropped/delivered) carry only the RDMA immediate, SDR- and
-// SR-level events carry (message, chunk); the explorer joins the two via
-// the immediates observed in `posted` events for the chunk.
+//   chunk 173
+//     attempt#0 ... dropped
+//     rto_fired      <- caused by attempt#0
+//     retransmit     <- caused by rto_fired
+//     attempt#1 ... complete   <- caused by retransmit
+//
+// This is the debugging workflow the telemetry layer exists for: the same
+// joined view `--trace-perfetto` renders graphically, as a terminal tree.
+// Chunks that sailed through cleanly are elided and counted.
 //
 // Run: ./trace_explorer [packet_drop] [KiB] [seed]
 //      defaults: 0.03, 256 KiB, 5
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <set>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
 #include "reliability/reliable_channel.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verbs/nic.hpp"
 
@@ -52,23 +56,73 @@ const char* annotate(telemetry::TraceEventType type) {
   return "";
 }
 
-void print_event(const telemetry::TraceEvent& e) {
-  char ids[64] = "";
-  int n = 0;
-  if (e.msg != telemetry::kNoMsg) {
-    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
-                       " msg=%llu", static_cast<unsigned long long>(e.msg));
+std::string span_label(const telemetry::Span& s) {
+  char buf[48];
+  switch (s.kind) {
+    case telemetry::SpanKind::kMessage:
+      std::snprintf(buf, sizeof(buf), "msg %llu",
+                    static_cast<unsigned long long>(s.msg));
+      break;
+    case telemetry::SpanKind::kChunk:
+      std::snprintf(buf, sizeof(buf), "chunk %u", s.chunk);
+      break;
+    case telemetry::SpanKind::kAttempt:
+      std::snprintf(buf, sizeof(buf), "attempt#%u", s.attempt);
+      break;
+    case telemetry::SpanKind::kInstant:
+      std::snprintf(buf, sizeof(buf), "%s", telemetry::to_string(s.what));
+      break;
   }
-  if (e.chunk != telemetry::kNoChunk) {
-    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
-                       " chunk=%u", e.chunk);
+  return buf;
+}
+
+void print_span(const telemetry::SpanRecorder& sp, telemetry::SpanIndex i,
+                int indent) {
+  const telemetry::Span& s = sp.at(i);
+  char times[64];
+  if (s.kind == telemetry::SpanKind::kInstant) {
+    std::snprintf(times, sizeof(times), "@%.9f s", s.begin.seconds());
+  } else {
+    std::snprintf(times, sizeof(times), "%.9f-%.9f s", s.begin.seconds(),
+                  s.end.seconds());
   }
-  if (e.imm != telemetry::kNoImm) {
-    n += std::snprintf(ids + n, sizeof(ids) - static_cast<std::size_t>(n),
-                       " imm=0x%08x", e.imm);
+  char detail[96] = "";
+  if (s.kind == telemetry::SpanKind::kAttempt) {
+    std::snprintf(detail, sizeof(detail), "  %llu B imm=0x%08x",
+                  static_cast<unsigned long long>(s.bytes), s.imm);
+  } else if (s.kind == telemetry::SpanKind::kInstant) {
+    std::snprintf(detail, sizeof(detail), "  (%s)", annotate(s.what));
   }
-  std::printf("  %12.9f s  %-14s qp=%-3u%-38s %s\n", e.t.seconds(),
-              telemetry::to_string(e.type), e.qp, ids, annotate(e.type));
+  std::string cause;
+  if (s.cause != telemetry::kNoSpan) {
+    cause = "  <- caused by " + span_label(sp.at(s.cause));
+  }
+  std::printf("%*s%-12s %s  %s%s%s\n", indent, "", span_label(s).c_str(),
+              times,
+              s.kind == telemetry::SpanKind::kInstant
+                  ? ""
+                  : telemetry::to_string(s.outcome),
+              detail, cause.c_str());
+}
+
+/// A chunk earned its place in the tree if anything beyond the happy path
+/// happened to it: extra attempts, a lost attempt, or a protocol decision.
+bool chunk_is_interesting(const telemetry::SpanRecorder& sp,
+                          telemetry::SpanIndex chunk) {
+  std::size_t attempts = 0;
+  for (telemetry::SpanIndex c : sp.children(chunk)) {
+    const telemetry::Span& s = sp.at(c);
+    if (s.kind == telemetry::SpanKind::kAttempt) {
+      ++attempts;
+      if (s.outcome != telemetry::SpanOutcome::kComplete) return true;
+    } else if (s.kind == telemetry::SpanKind::kInstant &&
+               (s.what == telemetry::TraceEventType::kRtoFired ||
+                s.what == telemetry::TraceEventType::kRetransmit ||
+                s.what == telemetry::TraceEventType::kNackSent)) {
+      return true;
+    }
+  }
+  return attempts > 1;
 }
 
 }  // namespace
@@ -83,10 +137,10 @@ int main(int argc, char** argv) {
   // an embedding process (or another run in the same process) never sees
   // this run's metrics, and nothing mutates the process-wide default.
   telemetry::Registry registry;
-  telemetry::Tracer tracer;
+  telemetry::SpanRecorder span_rec;
   registry.enable();
-  tracer.arm();
-  telemetry::ScopedTelemetry scoped(&registry, &tracer);
+  span_rec.arm();
+  telemetry::ScopedTelemetry scoped(&registry, nullptr, &span_rec);
 
   sim::Simulator sim;
   sim::Channel::Config link;
@@ -101,7 +155,7 @@ int main(int argc, char** argv) {
   options.profile.rtt_s = 2.0 * propagation_delay_s(link.distance_km);
   options.profile.p_drop_packet = p_drop;
   // chunk == MTU so the wire packet index equals the SR chunk index and a
-  // chunk's whole life is a single packet stream — the simplest timeline.
+  // chunk's whole life is a single packet stream — the simplest tree.
   options.profile.mtu = 1024;
   options.profile.chunk_bytes = 1024;
   options.attr.mtu = 1024;
@@ -133,70 +187,60 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(channel.retransmissions()),
               sim.now().seconds());
 
-  // Pick the first chunk the SR sender had to retransmit and rebuild its
-  // full cross-layer timeline.
-  const auto events = telemetry::tracer().collect();
-  std::uint64_t msg = telemetry::kNoMsg;
-  std::uint32_t chunk = telemetry::kNoChunk;
-  for (const auto& e : events) {
-    if (e.type == telemetry::TraceEventType::kRetransmit &&
-        e.msg != telemetry::kNoMsg) {
-      msg = e.msg;
-      chunk = e.chunk;
-      break;
+  // Walk every message span: expand chunks that needed recovery into their
+  // attempt/decision subtree, count the clean ones.
+  const telemetry::SpanRecorder& sp = span_rec;
+  bool any_interesting = false;
+  for (telemetry::SpanIndex root : sp.children(telemetry::kNoSpan)) {
+    if (sp.at(root).kind != telemetry::SpanKind::kMessage) continue;
+    std::printf("Span tree of %s:\n", span_label(sp.at(root)).c_str());
+    print_span(sp, root, 0);
+    std::size_t clean = 0;
+    for (telemetry::SpanIndex chunk : sp.children(root)) {
+      const telemetry::Span& cs = sp.at(chunk);
+      if (cs.kind != telemetry::SpanKind::kChunk) {
+        print_span(sp, chunk, 2);  // message-level instants (cts, ...)
+        continue;
+      }
+      if (!chunk_is_interesting(sp, chunk)) {
+        ++clean;
+        continue;
+      }
+      any_interesting = true;
+      print_span(sp, chunk, 2);
+      // Coalesce runs of identical cause-free instants (e.g. the periodic
+      // cumulative ACK stuck at this chunk while its retransmission is in
+      // flight) into one line.
+      const std::vector<telemetry::SpanIndex> kids = sp.children(chunk);
+      for (std::size_t k = 0; k < kids.size();) {
+        const telemetry::Span& s = sp.at(kids[k]);
+        std::size_t run = 1;
+        if (s.kind == telemetry::SpanKind::kInstant) {
+          while (k + run < kids.size()) {
+            const telemetry::Span& n = sp.at(kids[k + run]);
+            if (n.kind != telemetry::SpanKind::kInstant ||
+                n.what != s.what || n.cause != telemetry::kNoSpan) {
+              break;
+            }
+            ++run;
+          }
+        }
+        print_span(sp, kids[k], 4);
+        if (run > 1) {
+          std::printf("      ... x%zu more until %.9f s\n", run - 1,
+                      sp.at(kids[k + run - 1]).begin.seconds());
+        }
+        k += run;
+      }
+    }
+    if (clean > 0) {
+      std::printf("  (%zu clean chunks elided: one delivered attempt "
+                  "each)\n", clean);
     }
   }
-  if (msg == telemetry::kNoMsg) {
+  if (!any_interesting) {
     std::printf("No chunk was retransmitted (drop dice were kind) — rerun "
                 "with a higher drop rate or another seed.\n");
-    return 0;
-  }
-
-  // Wire-level events only know the RDMA immediate; collect every immediate
-  // this chunk was posted with (original + retransmissions), then take the
-  // SDR/SR-level events for (msg, chunk) plus the wire events for those
-  // immediates. This is exactly what Tracer::chunk_timeline does for a
-  // single immediate.
-  std::set<std::uint32_t> imms;
-  for (const auto& e : events) {
-    if (e.type == telemetry::TraceEventType::kPosted && e.msg == msg &&
-        e.chunk == chunk && e.imm != telemetry::kNoImm) {
-      imms.insert(e.imm);
-    }
-  }
-  std::vector<telemetry::TraceEvent> timeline;
-  for (const auto& e : events) {
-    const bool sdr_level =
-        e.msg == msg &&
-        (e.chunk == chunk || e.chunk == telemetry::kNoChunk);
-    const bool wire_level =
-        e.msg == telemetry::kNoMsg && imms.count(e.imm) > 0;
-    if (sdr_level || wire_level) timeline.push_back(e);
-  }
-  std::stable_sort(timeline.begin(), timeline.end(),
-                   [](const telemetry::TraceEvent& a,
-                      const telemetry::TraceEvent& b) { return a.t < b.t; });
-
-  std::printf("Timeline of msg %llu chunk %u (dropped then "
-              "retransmitted):\n",
-              static_cast<unsigned long long>(msg), chunk);
-  // Coalesce runs of identical events (e.g. the periodic cumulative ACK
-  // stuck at this chunk while its retransmission is in flight).
-  for (std::size_t i = 0; i < timeline.size();) {
-    const auto& e = timeline[i];
-    std::size_t run = 1;
-    while (i + run < timeline.size() &&
-           timeline[i + run].type == e.type && timeline[i + run].qp == e.qp &&
-           timeline[i + run].msg == e.msg &&
-           timeline[i + run].chunk == e.chunk) {
-      ++run;
-    }
-    print_event(e);
-    if (run > 1) {
-      std::printf("       ... x%zu more until %.9f s\n", run - 1,
-                  timeline[i + run - 1].t.seconds());
-    }
-    i += run;
   }
 
   std::printf("\nRegistry snapshot (reliability.sr.*):\n");

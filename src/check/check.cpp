@@ -10,6 +10,7 @@
 #include "model/link_params.hpp"
 #include "model/protocols.hpp"
 #include "sweep/sweep.hpp"
+#include "telemetry/span.hpp"
 
 namespace sdr::check {
 
@@ -154,6 +155,30 @@ std::uint64_t SeedReport::digest() const {
   return h;
 }
 
+std::string SeedReport::flight_json() const {
+  std::string out;
+  for (const ArmResult& arm : arms) {
+    if (arm.flight_json.empty()) continue;
+    if (!out.empty()) out += ",";
+    out += "{\"arm\":\"" + arm.name + "\",\"flight\":" + arm.flight_json + "}";
+  }
+  if (out.empty()) return out;
+  return "{\"seed\":" + std::to_string(seed) +
+         ",\"shrink_level\":" + std::to_string(shrink_level) +
+         ",\"arms\":[" + out + "]}";
+}
+
+std::string SeedReport::chrome_json() const {
+  std::string events;
+  for (const ArmResult& arm : arms) {
+    if (arm.chrome_events.empty()) continue;
+    if (!events.empty()) events += ",";
+    events += arm.chrome_events;
+  }
+  if (events.empty()) return events;
+  return telemetry::SpanRecorder::wrap_chrome_events(events);
+}
+
 std::string repro_command(std::uint64_t seed, int shrink_level) {
   std::string cmd = "sdrcheck --seed=" + std::to_string(seed);
   if (shrink_level > 0) {
@@ -172,9 +197,18 @@ SeedReport check_seed(std::uint64_t seed, const CheckOptions& opts,
   RunnerOptions ropts;
   ropts.capture_trace = opts.capture_trace;
   ropts.trace_capacity = opts.trace_capacity;
+  ropts.capture_flight = opts.capture_flight;
+  ropts.flight_capacity = opts.flight_capacity;
+  ropts.capture_spans = opts.capture_spans;
+  ropts.span_capacity = opts.span_capacity;
 
+  // Distinct pid ranges per arm so the merged Perfetto document keeps each
+  // arm's tracks apart (each arm registers <=1 track + a metadata row).
+  ropts.span_pid_base = 0;
   report.arms.push_back(run_sr_arm(report.scenario, ropts));
+  ropts.span_pid_base = 8;
   if (opts.run_ec) report.arms.push_back(run_ec_arm(report.scenario, ropts));
+  ropts.span_pid_base = 16;
   if (opts.run_rc) report.arms.push_back(run_rc_arm(report.scenario, ropts));
 
   run_differential_oracle(report.arms, &report.failures);

@@ -39,6 +39,15 @@ struct CheckOptions {
   bool model_oracle{true};
   bool capture_trace{true};
   std::size_t trace_capacity{1u << 13};
+  /// Per-arm flight recorders (bounded rings of protocol state
+  /// transitions); their JSON dump is written next to the seed repro line
+  /// when an oracle fails.
+  bool capture_flight{true};
+  std::size_t flight_capacity{128};
+  /// Per-arm causal span recorders: a --trace-perfetto replay merges every
+  /// arm's spans into one Chrome trace document.
+  bool capture_spans{false};
+  std::size_t span_capacity{1u << 14};
   /// Upper bound on shrink-ladder steps explored by shrink_failure().
   int max_shrink_level{16};
 };
@@ -62,6 +71,13 @@ struct SeedReport {
   /// Order- and platform-stable digest of delivered bytes + completion
   /// times across arms; drives the serial-vs-parallel equivalence oracle.
   std::uint64_t digest() const;
+  /// Merged per-arm flight-recorder dumps:
+  /// {"seed":N,"shrink_level":K,"arms":[{"arm":"sr_rto","flight":{...}}]}.
+  /// Empty string when no arm captured flight data.
+  std::string flight_json() const;
+  /// Merged Chrome trace document of every arm's spans (capture_spans
+  /// runs); empty string when no arm captured spans.
+  std::string chrome_json() const;
 };
 
 /// The one-line command that reproduces a (seed, shrink level) run.

@@ -362,8 +362,17 @@ ArmResult run_protocol_arm(const Scenario& s, const RunnerOptions& opts,
   const std::size_t pool_before = common::payload_pool().live_slots();
   telemetry::Tracer trace;
   if (opts.capture_trace) trace.arm(opts.trace_capacity);
-  telemetry::ScopedTelemetry scoped(nullptr,
-                                    opts.capture_trace ? &trace : nullptr);
+  telemetry::FlightRecorder flight;
+  if (opts.capture_flight) flight.arm(opts.flight_capacity);
+  telemetry::SpanRecorder span_rec;
+  if (opts.capture_spans) {
+    span_rec.arm(opts.span_capacity);
+    span_rec.track(r.name);
+  }
+  telemetry::ScopedTelemetry scoped(
+      nullptr, opts.capture_trace ? &trace : nullptr,
+      opts.capture_spans ? &span_rec : nullptr,
+      opts.capture_flight ? &flight : nullptr);
   {
     Fabric fabric(s, ec ? kEcArmSalt : kSrArmSalt);
     core::Context ctx_a(*fabric.a, core::DevAttr{});
@@ -494,6 +503,10 @@ ArmResult run_protocol_arm(const Scenario& s, const RunnerOptions& opts,
     check_trace_monotone(events, r);
     if (!r.ok()) r.timeline = render_timeline(events, opts.timeline_tail);
   }
+  if (opts.capture_flight) r.flight_json = flight.to_json();
+  if (opts.capture_spans) {
+    span_rec.append_chrome_events(r.chrome_events, opts.span_pid_base);
+  }
   return r;
 }
 
@@ -524,8 +537,17 @@ ArmResult run_rc_arm(const Scenario& s, const RunnerOptions& opts) {
   const std::size_t pool_before = common::payload_pool().live_slots();
   telemetry::Tracer trace;
   if (opts.capture_trace) trace.arm(opts.trace_capacity);
-  telemetry::ScopedTelemetry scoped(nullptr,
-                                    opts.capture_trace ? &trace : nullptr);
+  telemetry::FlightRecorder flight;
+  if (opts.capture_flight) flight.arm(opts.flight_capacity);
+  telemetry::SpanRecorder span_rec;
+  if (opts.capture_spans) {
+    span_rec.arm(opts.span_capacity);
+    span_rec.track(r.name);
+  }
+  telemetry::ScopedTelemetry scoped(
+      nullptr, opts.capture_trace ? &trace : nullptr,
+      opts.capture_spans ? &span_rec : nullptr,
+      opts.capture_flight ? &flight : nullptr);
   {
     Fabric fabric(s, kRcArmSalt);
     verbs::CompletionQueue tx_cq(1 << 12), rx_cq(1 << 12);
@@ -675,6 +697,10 @@ ArmResult run_rc_arm(const Scenario& s, const RunnerOptions& opts) {
     const std::vector<telemetry::TraceEvent> events = trace.collect();
     check_trace_monotone(events, r);
     if (!r.ok()) r.timeline = render_timeline(events, opts.timeline_tail);
+  }
+  if (opts.capture_flight) r.flight_json = flight.to_json();
+  if (opts.capture_spans) {
+    span_rec.append_chrome_events(r.chrome_events, opts.span_pid_base);
   }
   return r;
 }

@@ -34,6 +34,16 @@ struct RunnerOptions {
   /// How many trailing trace events to render into ArmResult::timeline on
   /// failure.
   std::size_t timeline_tail{40};
+  /// Arm a private per-arm flight recorder; its JSON dump lands in
+  /// ArmResult::flight_json (postmortems next to the seed repro line).
+  bool capture_flight{false};
+  std::size_t flight_capacity{128};
+  /// Arm a private per-arm span recorder; the arm's Chrome trace events
+  /// land in ArmResult::chrome_events with process ids offset by
+  /// span_pid_base (so several arms merge into one Perfetto document).
+  bool capture_spans{false};
+  std::size_t span_capacity{1u << 14};
+  int span_pid_base{0};
 };
 
 struct ArmResult {
@@ -48,6 +58,11 @@ struct ArmResult {
   std::uint64_t retransmissions{0};
   /// Rendered tail of the packet-lifecycle trace; filled on failure only.
   std::string timeline;
+  /// Flight-recorder JSON dump of this arm (capture_flight runs only).
+  std::string flight_json;
+  /// Chrome trace events of this arm (capture_spans runs only) — bare
+  /// comma-separated objects, combine via SpanRecorder::wrap_chrome_events.
+  std::string chrome_events;
 
   bool ok() const { return failures.empty(); }
 };

@@ -94,6 +94,7 @@ BroadcastResult BinomialBroadcast::run(
         buffers[i].data(), config_.bytes,
         [this, node, &last_arrival_s](const Status& s) {
           if (!s.is_ok()) return;
+          telemetry::ProfScope prof(telemetry::ProfCategory::kCollectives);
           has_data_[node] = true;
           ++done_nodes_;
           last_arrival_s = std::max(last_arrival_s, sim_.now().seconds());

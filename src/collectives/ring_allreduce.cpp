@@ -173,6 +173,7 @@ void RingAllreduce::start_step(std::size_t rank) {
       [this, rank, step, recv_seg, seg_floats, reduce_phase](const Status& s) {
         assert(s.is_ok());
         (void)s;
+        telemetry::ProfScope prof(telemetry::ProfCategory::kCollectives);
         Node& nd = *nodes_[rank];
         float* dst = (*buffers_)[rank].data() + recv_seg * seg_floats;
         if (reduce_phase) {
@@ -185,6 +186,7 @@ void RingAllreduce::start_step(std::size_t rank) {
 }
 
 void RingAllreduce::on_part_done(std::size_t rank, std::uint64_t step) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kCollectives);
   Node& node = *nodes_[rank];
   if (node.step != step) return;  // stale callback (should not happen)
   parts_done_.inc();

@@ -70,8 +70,13 @@ double Histogram::stddev() const {
 double Histogram::percentile(double pct) const {
   if (count_ == 0) return 0.0;
   pct = std::clamp(pct, 0.0, 100.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(count_)));
+  // 99.9/100.0 rounds UP in binary (0.99900000000000011...), so a bare
+  // ceil(pct/100 * count) lands on rank 1000 of 1000 samples instead of
+  // 999 — p99.9 silently became max on sparse histograms. Shave one ulp's
+  // worth before ceiling so exact-rank products stay at their exact rank.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(pct / 100.0 * static_cast<double>(count_) - 1e-9)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];

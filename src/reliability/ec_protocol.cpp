@@ -40,6 +40,7 @@ void EcSender::register_metrics() {
   tele_.bind_gauge("inflight_messages", [this] {
     return static_cast<double>(messages_.size());
   });
+  msg_completion_hist_ = tele_.histogram("msg_completion_s", 1e-6, 1e3);
 }
 
 Status EcSender::write(const std::uint8_t* data, std::size_t length,
@@ -56,6 +57,7 @@ Status EcSender::write(const std::uint8_t* data, std::size_t length,
   msg.data = data;
   msg.length = length;
   msg.submessages = L;
+  msg.write_at_s = sim_.now().seconds();
   msg.done = std::move(done);
   msg.parity.resize(L * config_.m * chunk_bytes_);
   msg.timers.assign(L, {});
@@ -105,11 +107,17 @@ Status EcSender::write(const std::uint8_t* data, std::size_t length,
   }
 
   ++stats_.messages;
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kEc,
+                               qp_.control_qp_num(), "write", sim_.now(), base,
+                               length, L);
+  }
   messages_.emplace(base, std::move(msg));
   return Status::ok();
 }
 
 void EcSender::on_control(const std::uint8_t* data, std::size_t length) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
   const auto parsed = decode_control(data, length);
   if (!parsed) return;
   const ControlMessage& ctl = *parsed;
@@ -152,6 +160,16 @@ void EcSender::enter_fallback(MsgState& msg, std::uint64_t base,
                                telemetry::TraceEventType::kEcFallback, 0,
                                base, sub);
     }
+    if (telemetry::spanning()) {
+      telemetry::spans().on_instant(sim_.now(),
+                                    telemetry::TraceEventType::kEcFallback,
+                                    base, sub);
+    }
+    if (telemetry::flight_recording()) {
+      telemetry::flight().record(telemetry::FlightLayer::kEc,
+                                 qp_.control_qp_num(), "enter_fallback",
+                                 sim_.now(), base, sub, config_.k);
+    }
     msg.acked[sub].resize(config_.k);
     msg.timers[sub].assign(config_.k, sim::EventId{});
     ++msg.subs_pending_fallback;
@@ -179,6 +197,19 @@ void EcSender::fallback_send(MsgState& msg, std::uint64_t base,
                                static_cast<std::uint32_t>(chunk),
                                telemetry::kNoImm, chunk_bytes_);
     }
+    if (telemetry::spanning()) {
+      telemetry::spans().on_retransmit(sim_.now(),
+                                       msg.data_handles[sub]->msg_number(),
+                                       static_cast<std::uint32_t>(chunk),
+                                       chunk_bytes_);
+    }
+    if (telemetry::flight_recording()) {
+      telemetry::flight().record(telemetry::FlightLayer::kEc,
+                                 qp_.control_qp_num(), "retransmit",
+                                 sim_.now(),
+                                 msg.data_handles[sub]->msg_number(), sub,
+                                 chunk);
+    }
   }
 }
 
@@ -189,6 +220,7 @@ void EcSender::arm_fallback_timer(std::uint64_t base, std::size_t sub,
   it->second.timers[sub][chunk] = sim_.schedule(
       SimTime::from_seconds(config_.fallback_rto_s),
       [this, base, sub, chunk] {
+        telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
         const auto mit = messages_.find(base);
         if (mit == messages_.end()) return;
         MsgState& m = mit->second;
@@ -242,6 +274,15 @@ void EcSender::finish(std::uint64_t base) {
   if (it == messages_.end()) return;
   MsgState msg = std::move(it->second);
   messages_.erase(it);
+  if (msg_completion_hist_.live() && msg.write_at_s >= 0.0) {
+    msg_completion_hist_.record(sim_.now().seconds() - msg.write_at_s);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kEc,
+                               qp_.control_qp_num(), "msg_done", sim_.now(),
+                               base, msg.submessages,
+                               stats_.fallback_retransmissions);
+  }
   for (std::size_t s = 0; s < msg.submessages; ++s) {
     for (sim::EventId id : msg.timers[s]) {
       if (id.valid()) sim_.cancel(id);
@@ -290,6 +331,8 @@ void EcReceiver::register_metrics() {
   tele_.bind_gauge("inflight_messages", [this] {
     return static_cast<double>(messages_.size());
   });
+  chunk_completion_hist_ = tele_.histogram("chunk_completion_s", 1e-6, 1e3);
+  msg_completion_hist_ = tele_.histogram("msg_completion_s", 1e-6, 1e3);
 }
 
 Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
@@ -305,6 +348,7 @@ Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
   msg.buffer = buffer;
   msg.length = length;
   msg.submessages = L;
+  msg.posted_at_s = sim_.now().seconds();
   msg.done = std::move(done);
   msg.sub_recovered.assign(L, false);
   msg.parity_scratch.resize(L * config_.m * chunk_bytes_);
@@ -377,6 +421,7 @@ Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
 }
 
 void EcReceiver::on_chunk_event(const core::RecvEvent& event) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
   const auto bit = handle_to_base_.find(event.handle->msg_number());
   if (bit == handle_to_base_.end()) return;
   const std::uint64_t base = bit->second;
@@ -395,6 +440,15 @@ void EcReceiver::on_chunk_event(const core::RecvEvent& event) {
   if (submessage_recoverable(msg, sub) && try_recover(msg, sub)) {
     msg.sub_recovered[sub] = true;
     ++msg.subs_recovered;
+    if (chunk_completion_hist_.live() && msg.posted_at_s >= 0.0) {
+      chunk_completion_hist_.record(sim_.now().seconds() - msg.posted_at_s);
+    }
+    if (telemetry::flight_recording()) {
+      telemetry::flight().record(telemetry::FlightLayer::kEc,
+                                 qp_.control_qp_num(), "sub_recovered",
+                                 sim_.now(), base, sub, msg.subs_recovered,
+                                 msg.submessages);
+    }
     if (msg.fallback) {
       // Tell the sender to stop retransmitting this submessage.
       ControlMessage ack;
@@ -460,6 +514,17 @@ bool EcReceiver::try_recover(MsgState& msg, std::size_t sub) {
                              0, msg.data_handles[sub]->msg_number(),
                              static_cast<std::uint32_t>(sub));
   }
+  if (telemetry::spanning()) {
+    telemetry::spans().on_instant(sim_.now(),
+                                  telemetry::TraceEventType::kEcRepair,
+                                  msg.data_handles[sub]->msg_number(),
+                                  static_cast<std::uint32_t>(sub));
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kEc,
+                               qp_.control_qp_num(), "ec_repair", sim_.now(),
+                               msg.data_handles[sub]->msg_number(), sub);
+  }
   return true;
 }
 
@@ -481,6 +546,7 @@ void EcReceiver::arm_fto(MsgState& msg, std::uint64_t base) {
 }
 
 void EcReceiver::on_fto(std::uint64_t base) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
   const auto it = messages_.find(base);
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
@@ -489,6 +555,15 @@ void EcReceiver::on_fto(std::uint64_t base) {
   if (telemetry::tracing()) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kRtoFired,
                              0, base);
+  }
+  if (telemetry::spanning()) {
+    telemetry::spans().on_rto(sim_.now(), base, telemetry::kNoChunk);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kEc,
+                               qp_.control_qp_num(), "fto_fired", sim_.now(),
+                               base, msg.submessages - msg.subs_recovered,
+                               stats_.ftos_fired);
   }
   const bool first_fire = !msg.fallback;
   msg.fallback = true;
@@ -519,6 +594,7 @@ void EcReceiver::on_fto(std::uint64_t base) {
 }
 
 void EcReceiver::fallback_ack_tick(std::uint64_t base) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
   const auto it = messages_.find(base);
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
@@ -552,6 +628,15 @@ void EcReceiver::send_fallback_acks(MsgState& msg, std::uint64_t base) {
 
 void EcReceiver::complete(MsgState& msg, std::uint64_t base) {
   msg.complete = true;
+  if (msg_completion_hist_.live() && msg.posted_at_s >= 0.0) {
+    msg_completion_hist_.record(sim_.now().seconds() - msg.posted_at_s);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kEc,
+                               qp_.control_qp_num(), "msg_complete",
+                               sim_.now(), base, msg.submessages,
+                               stats_.decoded_submessages);
+  }
   if (msg.fto_timer.valid()) sim_.cancel(msg.fto_timer);
   if (msg.global_timer.valid()) sim_.cancel(msg.global_timer);
   if (msg.ack_timer.valid()) sim_.cancel(msg.ack_timer);

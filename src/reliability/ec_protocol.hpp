@@ -82,6 +82,7 @@ class EcSender {
     std::vector<Bitmap> acked;        // per-submessage chunk acks
     std::vector<bool> sub_done;
     std::size_t subs_pending_fallback{0};
+    double write_at_s{-1.0};  // write() sim time (completion latency)
     DoneFn done;
   };
 
@@ -110,6 +111,8 @@ class EcSender {
   // Maps any data submessage msg_number -> base (for fallback ACK routing).
   std::unordered_map<std::uint64_t, std::uint64_t> sub_to_base_;
   EcSenderStats stats_;
+  // Tail-latency rollup: write() -> positive EC ACK.
+  telemetry::HistogramHandle msg_completion_hist_;
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 
@@ -152,6 +155,7 @@ class EcReceiver {
     /// (refires re-list them on the wire but must not re-count).
     std::vector<bool> sub_nacked;
     std::size_t subs_recovered{0};
+    double posted_at_s{-1.0};  // expect() sim time (completion latency)
     bool fto_armed{false};
     bool fallback{false};
     bool complete{false};
@@ -182,6 +186,9 @@ class EcReceiver {
   std::unordered_map<std::uint64_t, MsgState> messages_;
   std::unordered_map<std::uint64_t, std::uint64_t> handle_to_base_;
   EcReceiverStats stats_;
+  // Tail-latency rollups: expect() -> submessage recovered / message done.
+  telemetry::HistogramHandle chunk_completion_hist_;
+  telemetry::HistogramHandle msg_completion_hist_;
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 

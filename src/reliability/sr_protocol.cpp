@@ -54,6 +54,8 @@ void SrSender::register_metrics() {
     return static_cast<double>(messages_.size());
   });
   rtt_hist_ = tele_.histogram("rtt_sample_s", 1e-6, 100.0);
+  chunk_completion_hist_ = tele_.histogram("chunk_completion_s", 1e-6, 1e3);
+  msg_completion_hist_ = tele_.histogram("msg_completion_s", 1e-6, 1e3);
 }
 
 Status SrSender::write(const std::uint8_t* data, std::size_t length,
@@ -86,8 +88,14 @@ Status SrSender::write(const std::uint8_t* data, std::size_t length,
   msg.retries.assign(msg.chunks, 0);
   msg.retransmitted.resize(msg.chunks);
   msg.cts_at_s = -1.0;
+  msg.write_at_s = sim_.now().seconds();
   msg.done = std::move(done);
   ++stats_.messages;
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "write", sim_.now(),
+                               msg_number, length, msg.chunks);
+  }
 
   for (std::size_t c = 0; c < msg.chunks; ++c) {
     send_chunk(msg, c, /*retransmission=*/false);
@@ -119,6 +127,18 @@ void SrSender::send_chunk(MsgState& msg, std::size_t chunk,
                              static_cast<std::uint32_t>(chunk),
                              telemetry::kNoImm, len);
   }
+  if (retransmission && telemetry::spanning()) {
+    // Also before injection, so the fresh attempt span inherits the pending
+    // drop/RTO cause and the flow arrow points at it.
+    telemetry::spans().on_retransmit(sim_.now(), msg.handle->msg_number(),
+                                     static_cast<std::uint32_t>(chunk), len);
+  }
+  if (retransmission && telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "retransmit", sim_.now(),
+                               msg.handle->msg_number(), chunk,
+                               msg.retries[chunk], len);
+  }
   const Status s =
       qp_.send_stream_continue(msg.handle, msg.data + offset, offset, len);
   if (!s) {
@@ -148,6 +168,7 @@ void SrSender::arm_timer(std::uint64_t msg_number, std::size_t chunk) {
   it->second.timers[chunk] = sim_.schedule(
       SimTime::from_seconds(current_rto_s() * backoff * jitter),
       [this, msg_number, chunk] {
+        telemetry::ProfScope prof(telemetry::ProfCategory::kSr);
         const auto mit = messages_.find(msg_number);
         if (mit == messages_.end()) return;
         MsgState& msg = mit->second;
@@ -158,12 +179,23 @@ void SrSender::arm_timer(std::uint64_t msg_number, std::size_t chunk) {
                                    msg_number,
                                    static_cast<std::uint32_t>(chunk));
         }
+        if (telemetry::spanning()) {
+          telemetry::spans().on_rto(sim_.now(), msg_number,
+                                    static_cast<std::uint32_t>(chunk));
+        }
+        if (telemetry::flight_recording()) {
+          telemetry::flight().record(
+              telemetry::FlightLayer::kSr, qp_.control_qp_num(), "rto_fired",
+              sim_.now(), msg_number, chunk, msg.retries[chunk],
+              static_cast<std::uint64_t>(current_rto_s() * 1e6));
+        }
         send_chunk(msg, chunk, /*retransmission=*/true);
         arm_timer(msg_number, chunk);
       });
 }
 
 void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSr);
   if (!decode_control(data, length, ctrl_scratch_)) return;
   const ControlMessage& msg = ctrl_scratch_;
   const auto it = messages_.find(msg.msg_number);
@@ -173,6 +205,12 @@ void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
     case ControlType::kSrAck:
       ++stats_.acks_received;
       apply_ack(it->second, msg);
+      if (telemetry::flight_recording()) {
+        telemetry::flight().record(telemetry::FlightLayer::kSr,
+                                   qp_.control_qp_num(), "ack_applied",
+                                   sim_.now(), msg.msg_number, msg.cumulative,
+                                   it->second.acked_count, it->second.chunks);
+      }
       break;
     case ControlType::kSrNack: {
       ++stats_.nacks_received;
@@ -182,6 +220,13 @@ void SrSender::on_control(const std::uint8_t* data, std::size_t length) {
         if (state.timers[chunk].valid()) sim_.cancel(state.timers[chunk]);
         send_chunk(state, chunk, /*retransmission=*/true);
         arm_timer(msg.msg_number, chunk);
+      }
+      if (telemetry::flight_recording()) {
+        telemetry::flight().record(telemetry::FlightLayer::kSr,
+                                   qp_.control_qp_num(), "nack_applied",
+                                   sim_.now(), msg.msg_number,
+                                   msg.indices.size(),
+                                   msg.indices.empty() ? 0 : msg.indices[0]);
       }
       break;
     }
@@ -231,6 +276,9 @@ void SrSender::mark_acked(MsgState& msg, std::size_t chunk) {
     if (config_.adaptive_rto) estimator_.update(sample);
     rtt_hist_.record(sample);
   }
+  if (chunk_completion_hist_.live() && msg.write_at_s >= 0.0) {
+    chunk_completion_hist_.record(sim_.now().seconds() - msg.write_at_s);
+  }
 }
 
 void SrSender::finish(std::uint64_t msg_number) {
@@ -241,6 +289,15 @@ void SrSender::finish(std::uint64_t msg_number) {
   // re-entrant write() sees a consistent map either way.
   auto node = messages_.extract(it);
   MsgState& msg = node.mapped();
+  if (msg_completion_hist_.live() && msg.write_at_s >= 0.0) {
+    msg_completion_hist_.record(sim_.now().seconds() - msg.write_at_s);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "msg_done", sim_.now(),
+                               msg_number, msg.chunks,
+                               stats_.retransmissions);
+  }
   qp_.send_stream_end(msg.handle);
   reap(msg.handle);
   DoneFn done = std::move(msg.done);
@@ -312,6 +369,7 @@ Status SrReceiver::expect(std::uint8_t* buffer, std::size_t length,
 }
 
 void SrReceiver::on_chunk_event(const core::RecvEvent& event) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSr);
   const auto it = messages_.find(event.handle->msg_number());
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
@@ -355,6 +413,17 @@ void SrReceiver::send_ack(MsgState& msg) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
                              0, ack.msg_number, ack.cumulative);
   }
+  if (telemetry::spanning()) {
+    telemetry::spans().on_instant(sim_.now(),
+                                  telemetry::TraceEventType::kAckSent,
+                                  ack.msg_number, ack.cumulative);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "ack_sent", sim_.now(),
+                               ack.msg_number, ack.cumulative,
+                               ack.selective.size());
+  }
 }
 
 void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
@@ -397,9 +466,21 @@ void SrReceiver::maybe_nack(MsgState& msg, std::size_t completed_chunk) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kNackSent,
                              0, nack.msg_number, nack.indices.front());
   }
+  if (telemetry::spanning()) {
+    telemetry::spans().on_instant(sim_.now(),
+                                  telemetry::TraceEventType::kNackSent,
+                                  nack.msg_number, nack.indices.front());
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "nack_sent", sim_.now(),
+                               nack.msg_number, nack.indices.size(),
+                               nack.indices.front());
+  }
 }
 
 void SrReceiver::ack_tick(std::uint64_t msg_number) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSr);
   const auto it = messages_.find(msg_number);
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
@@ -422,6 +503,11 @@ void SrReceiver::complete(MsgState& msg, std::uint64_t msg_number) {
   if (telemetry::tracing()) {
     telemetry::tracer().emit(sim_.now(), telemetry::TraceEventType::kAckSent,
                              0, msg_number, cumulative);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kSr,
+                               qp_.control_qp_num(), "msg_complete", sim_.now(),
+                               msg_number, msg.chunks);
   }
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
     // The repeat rebuilds the (tiny, constant) final ACK into the scratch

@@ -105,6 +105,7 @@ class SrSender {
     std::vector<std::uint8_t> retries;
     Bitmap retransmitted;
     double cts_at_s{-1.0};
+    double write_at_s{-1.0};  // write() sim time (completion latency)
     DoneFn done;
   };
 
@@ -140,6 +141,9 @@ class SrSender {
   Rng rng_{0x5EEDCAFE};  // retransmission-timer jitter
   SrSenderStats stats_;
   telemetry::HistogramHandle rtt_hist_;  // adaptive-RTO RTT samples
+  // Tail-latency rollups: write() -> chunk acked / message finished.
+  telemetry::HistogramHandle chunk_completion_hist_;
+  telemetry::HistogramHandle msg_completion_hist_;
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 
  public:

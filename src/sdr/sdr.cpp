@@ -150,9 +150,18 @@ void Qp::register_metrics() {
   tele_.bind_gauge("control_cq_depth", [this] {
     return static_cast<double>(control_cq_->size());
   });
+  // Completion-latency rollups (recv_post -> chunk bit / full message):
+  // flatten() derives .p50/.p99/.p999 columns, so fig10/fig13 sweeps export
+  // the tail per trial.
+  chunk_completion_hist_ = tele_.histogram("chunk_completion_s", 1e-6, 1e3);
+  msg_completion_hist_ = tele_.histogram("msg_completion_s", 1e-6, 1e3);
 }
 
 SimTime Qp::sim_now() const { return ctx_.nic().simulator().now(); }
+
+verbs::QpNumber Qp::control_qp_num() const {
+  return control_qp_ != nullptr ? control_qp_->num() : 0;
+}
 
 Qp::~Qp() {
   verbs::Nic& nic = ctx_.nic();
@@ -345,6 +354,16 @@ void Qp::inject(SendHandle* handle, const std::uint8_t* data,
           remote_data_qps_[gen * attr_.channels + channel],
           handle->msg_number_, packet_index, imm, chunk);
     }
+    if (telemetry::spanning()) {
+      // The span tree keys chunks at reliability granularity
+      // (attr.chunk_size) so SR/EC rto/retransmit instants join the same
+      // chunk span as the packets they re-send.
+      telemetry::spans().on_posted(
+          sim_now(), remote_data_qps_[gen * attr_.channels + channel],
+          handle->msg_number_,
+          static_cast<std::uint32_t>(byte_off / attr_.chunk_size),
+          packet_index, imm, chunk);
+    }
 
     if (attr_.transport == Transport::kUd) {
       // Two-sided datagram: the receiver resolves placement from the
@@ -428,6 +447,7 @@ Status Qp::recv_post(std::uint8_t* addr, std::size_t length,
   ++recv_counter_;
   *h = RecvHandle{};
   h->in_use_ = true;
+  h->posted_at_s_ = sim_now().seconds();
   h->msg_number_ = msg_number;
   h->slot_ = slot;
   h->generation_ = gen;
@@ -500,6 +520,7 @@ void Qp::send_cts(const CtsMessage& cts) {
 }
 
 void Qp::on_control_cqe() {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSdr);
   verbs::Cqe batch[kCqeBatch];
   std::size_t n;
   while ((n = control_cq_->poll(batch, kCqeBatch)) > 0) {
@@ -520,6 +541,11 @@ void Qp::on_control_cqe() {
         telemetry::tracer().emit(sim_now(), telemetry::TraceEventType::kCts,
                                  control_qp_->num(), cts.msg_number);
       }
+      if (telemetry::spanning()) {
+        telemetry::spans().on_instant(sim_now(),
+                                      telemetry::TraceEventType::kCts,
+                                      cts.msg_number, telemetry::kNoChunk);
+      }
 
       // Order-based matching: the in-flight send for this msg_number, if
       // started, lives at its slot.
@@ -538,6 +564,7 @@ void Qp::on_control_cqe() {
 }
 
 void Qp::on_data_cqe(std::size_t qp_index) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSdr);
   const auto qp_generation =
       static_cast<std::uint32_t>(qp_index / attr_.channels);
   const bool ud = attr_.transport == Transport::kUd;
@@ -601,6 +628,27 @@ void Qp::on_data_cqe(std::size_t qp_index) {
           tr.emit(now, telemetry::TraceEventType::kMsgComplete, qp_num, msg);
         }
       }
+      if (h->in_use_) {
+        if (telemetry::spanning()) {
+          auto& sp = telemetry::spans();
+          const SimTime now = sim_now();
+          if (result.chunk_completed) {
+            sp.on_chunk_done(now, h->msg_number_, result.chunk_index);
+          }
+          if (result.message_completed) {
+            sp.on_msg_complete(now, h->msg_number_);
+          }
+        }
+        if (h->posted_at_s_ >= 0.0 &&
+            (result.chunk_completed && chunk_completion_hist_.live())) {
+          chunk_completion_hist_.record(sim_now().seconds() -
+                                        h->posted_at_s_);
+        }
+        if (h->posted_at_s_ >= 0.0 &&
+            (result.message_completed && msg_completion_hist_.live())) {
+          msg_completion_hist_.record(sim_now().seconds() - h->posted_at_s_);
+        }
+      }
       if (!recv_event_handler_) continue;
       if (!h->in_use_) continue;
       if (result.chunk_completed) {
@@ -616,6 +664,7 @@ void Qp::on_data_cqe(std::size_t qp_index) {
 }
 
 void Qp::on_send_cqe() {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSdr);
   verbs::Cqe batch[kCqeBatch];
   std::size_t n;
   while ((n = send_cq_->poll(batch, kCqeBatch)) > 0) {

@@ -112,6 +112,7 @@ class RecvHandle {
   std::size_t msg_bytes_{0};
   std::size_t chunk_count_{0};
   const verbs::MemoryRegion* mr_{nullptr};
+  double posted_at_s_{-1.0};  // recv_post sim time (completion latency)
   bool in_use_{false};
 };
 
@@ -197,6 +198,10 @@ class Qp {
   MessageTable& message_table() { return table_; }
   Context& context() { return ctx_; }
 
+  /// Stable connection id for flight-recorder records (the control QP
+  /// number; 0 before connect).
+  verbs::QpNumber control_qp_num() const;
+
  private:
   struct CtsMessage {
     std::uint64_t msg_number;
@@ -276,6 +281,10 @@ class Qp {
   std::function<void(const RecvEvent&)> recv_event_handler_;
   std::function<void(std::uint64_t)> cts_handler_;
   SdrQpStats stats_;
+  // Tail-latency rollups (Figs 10/13): recv_post -> chunk-bit / message
+  // completion latency, exported per trial via the registry flattening.
+  telemetry::HistogramHandle chunk_completion_hist_;
+  telemetry::HistogramHandle msg_completion_hist_;
   telemetry::Scope tele_;  // last member: unbinds before stats_ dies
 };
 

@@ -56,6 +56,18 @@ void Channel::trace_packet(telemetry::TraceEventType type,
                            telemetry::kNoChunk, imm, packet.bytes);
 }
 
+void Channel::span_packet(telemetry::TraceEventType type,
+                          const Packet& packet) {
+  // Span attempts are keyed by the wire immediate; only packets that carry
+  // one (SDR data writes/sends) can join — control datagrams and RC ACKs
+  // would alias imm 0 otherwise.
+  if (const auto* wire = std::get_if<verbs::WirePacket>(&packet.payload)) {
+    if (verbs::carries_imm(wire->opcode)) {
+      telemetry::spans().on_wire(sim_.now(), type, wire->imm);
+    }
+  }
+}
+
 std::size_t Channel::queue_backlog_bytes() const {
   const SimTime now = sim_.now();
   if (next_free_ <= now) return 0;
@@ -80,6 +92,9 @@ void Channel::send(Packet packet) {
     if (telemetry::tracing()) {
       trace_packet(telemetry::TraceEventType::kQueueDrop, packet);
     }
+    if (telemetry::spanning()) {
+      span_packet(telemetry::TraceEventType::kQueueDrop, packet);
+    }
     return;
   }
 
@@ -93,6 +108,9 @@ void Channel::send(Packet packet) {
     ++stats_.dropped_packets;
     if (telemetry::tracing()) {
       trace_packet(telemetry::TraceEventType::kDropped, packet);
+    }
+    if (telemetry::spanning()) {
+      span_packet(telemetry::TraceEventType::kDropped, packet);
     }
     return;  // the bits still occupied the wire; they just never arrive
   }
@@ -162,6 +180,7 @@ void Channel::fifo_grow() {
 }
 
 void Channel::drain_fifo() {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kChannel);
   drain_event_ = EventId{};
   in_drain_ = true;
   for (;;) {
@@ -225,6 +244,9 @@ void Channel::deliver_slot(std::uint32_t slot) {
   Packet packet = std::move(pool_[slot].pkt);
   if (telemetry::tracing()) {
     trace_packet(telemetry::TraceEventType::kDelivered, packet);
+  }
+  if (telemetry::spanning()) {
+    span_packet(telemetry::TraceEventType::kDelivered, packet);
   }
   pool_[slot].next_free = free_head_;
   free_head_ = slot;

@@ -129,6 +129,7 @@ class Channel {
   void drain_fifo();
   void register_metrics();
   void trace_packet(telemetry::TraceEventType type, const Packet& packet);
+  void span_packet(telemetry::TraceEventType type, const Packet& packet);
 
   Simulator& sim_;
   Config config_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "telemetry/profiler.hpp"
+
 namespace sdr::sim {
 
 EventId Simulator::schedule_at(SimTime when, EventFn fn) {
@@ -224,6 +226,10 @@ void Simulator::retire(std::uint32_t slot) {
 void Simulator::fire(std::uint32_t slot) {
   EventFn fn = std::move(slots_[slot].fn);
   retire(slot);
+  // Fallback profiler attribution: handler wall time not claimed by a
+  // nested subsystem scope (channel/SR/EC/RC/SDR/collectives) lands in the
+  // sim category together with the dispatch itself.
+  telemetry::ProfScope prof(telemetry::ProfCategory::kSim);
   fn();
 }
 

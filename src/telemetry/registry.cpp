@@ -8,7 +8,7 @@
 namespace sdr::telemetry {
 
 namespace detail {
-thread_local bool g_metrics_on = false;
+thread_local constinit bool g_metrics_on = false;
 }  // namespace detail
 
 namespace {

@@ -44,7 +44,7 @@ namespace sdr::telemetry {
 namespace detail {
 // Mirrors the *current thread's* registry enabled state (kept in sync by
 // Registry::enable/disable and set_thread_registry).
-extern thread_local bool g_metrics_on;
+extern thread_local constinit bool g_metrics_on;
 }  // namespace detail
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };

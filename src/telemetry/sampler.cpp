@@ -50,6 +50,14 @@ void Sampler::write_csv(std::ostream& os) const {
     }
     os << '\n';
   }
+  // Columns that registered mid-run leave early rows ragged relative to the
+  // final schema; restate it as a trailing comment so row-streaming readers
+  // (which saw the narrow prefix) can reconcile without reparsing.
+  if (!rows_.empty() && rows_.front().values.size() < columns_.size()) {
+    os << "# columns: sim_time_s";
+    for (const std::string& col : columns_) os << ',' << col;
+    os << '\n';
+  }
 }
 
 std::string Sampler::to_csv() const {

@@ -62,7 +62,9 @@ class Sampler {
   }
 
   /// `sim_time_s,<col>,<col>,...` header then one row per sample; columns a
-  /// row never saw are left blank.
+  /// row never saw are left blank. When any column first appeared after the
+  /// first sample, a final `# columns: ...` comment restates the full
+  /// schema for row-streaming readers.
   void write_csv(std::ostream& os) const;
   std::string to_csv() const;
 

@@ -2,6 +2,9 @@
 //
 //   registry()  — hierarchical counters/gauges/histograms, sampled over time
 //   tracer()    — packet-lifecycle event ring with JSONL export
+//   spans()     — causal span tree (msg -> chunk -> attempt) + Perfetto JSON
+//   profiler()  — wall-clock self-time attribution by subsystem category
+//   flight()    — per-connection ring of protocol state transitions
 //   Sampler     — periodic registry snapshots -> CSV/JSONL time series
 //
 // Typical bring-up (before constructing the instrumented stack):
@@ -19,25 +22,36 @@
 // isolated telemetry with no shared globals.
 #pragma once
 
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/sampler.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace sdr::telemetry {
 
-/// RAII guard: makes `reg`/`trc` the calling thread's current registry and
-/// tracer for the guard's lifetime (either may be nullptr to fall back to
-/// the process-wide default). Restores the previous installation — guards
-/// nest. Everything the guarded code registers or emits through
-/// telemetry::registry()/tracer() lands in the scoped instances, so
+/// RAII guard: makes `reg`/`trc` (and optionally a span recorder, flight
+/// recorder, and profiler) the calling thread's current instances for the
+/// guard's lifetime (any may be nullptr to fall back to the process-wide
+/// default). Restores the previous installation — guards nest. Everything
+/// the guarded code registers or emits through telemetry::registry()/
+/// tracer()/spans()/flight()/profiler() lands in the scoped instances, so
 /// concurrent scopes on different threads cannot interleave.
 class ScopedTelemetry {
  public:
-  ScopedTelemetry(Registry* reg, Tracer* trc)
+  ScopedTelemetry(Registry* reg, Tracer* trc, SpanRecorder* sp = nullptr,
+                  FlightRecorder* fl = nullptr, Profiler* pr = nullptr)
       : prev_registry_(set_thread_registry(reg)),
-        prev_tracer_(set_thread_tracer(trc)) {}
+        prev_tracer_(set_thread_tracer(trc)),
+        prev_spans_(set_thread_spans(sp)),
+        prev_flight_(set_thread_flight(fl)),
+        prev_profiler_(set_thread_profiler(pr)) {}
 
   ~ScopedTelemetry() {
+    set_thread_profiler(prev_profiler_);
+    set_thread_flight(prev_flight_);
+    set_thread_spans(prev_spans_);
     set_thread_tracer(prev_tracer_);
     set_thread_registry(prev_registry_);
   }
@@ -48,6 +62,9 @@ class ScopedTelemetry {
  private:
   Registry* prev_registry_;
   Tracer* prev_tracer_;
+  SpanRecorder* prev_spans_;
+  FlightRecorder* prev_flight_;
+  Profiler* prev_profiler_;
 };
 
 }  // namespace sdr::telemetry

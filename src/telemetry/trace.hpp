@@ -28,7 +28,7 @@ namespace sdr::telemetry {
 namespace detail {
 // Mirrors the *current thread's* tracer armed state (kept in sync by
 // Tracer::arm/disarm and set_thread_tracer).
-extern thread_local bool g_tracing_on;
+extern thread_local constinit bool g_tracing_on;
 }  // namespace detail
 
 /// Sentinels for fields an event's layer cannot know.

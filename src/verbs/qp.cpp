@@ -183,6 +183,17 @@ void Qp::send_packet(WirePacket&& pkt, bool count_retransmission) {
                                telemetry::kNoMsg, pkt.psn, pkt.imm,
                                pkt.payload.size());
     }
+    if (telemetry::spanning()) {
+      telemetry::spans().on_instant(nic_.simulator().now(),
+                                    telemetry::TraceEventType::kRetransmit,
+                                    telemetry::kNoMsg, pkt.psn);
+    }
+    if (telemetry::flight_recording()) {
+      telemetry::flight().record(telemetry::FlightLayer::kRc, num_,
+                                 "rc_retransmit", nic_.simulator().now(),
+                                 telemetry::kNoMsg, pkt.psn,
+                                 pkt.payload.size());
+    }
   }
   nic_.send_packet(std::move(pkt));
 }
@@ -345,6 +356,7 @@ void Qp::receive_uc(WirePacket&& pkt) {
 // ---------------------------------------------------------------------------
 
 void Qp::receive_rc(WirePacket&& pkt) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kRc);
   if (pkt.opcode == Opcode::kAck) {
     rc_handle_ack(pkt.psn);
     return;
@@ -364,6 +376,11 @@ void Qp::receive_rc(WirePacket&& pkt) {
       // Gap detected: request Go-Back-N from the expected PSN.
       rc_nak_outstanding_ = true;
       ++stats_.rc_naks_sent;
+      if (telemetry::flight_recording()) {
+        telemetry::flight().record(telemetry::FlightLayer::kRc, num_,
+                                   "rc_nak", nic_.simulator().now(),
+                                   telemetry::kNoMsg, rc_epsn_, pkt.psn);
+      }
       WirePacket nak;
       nak.dst_nic = remote_nic_;
       nak.dst_qp = pkt.src_qp;
@@ -482,6 +499,11 @@ void Qp::rc_sr_receive(WirePacket&& pkt) {
       if (!rc_nak_outstanding_) {
         rc_nak_outstanding_ = true;
         ++stats_.rc_naks_sent;
+        if (telemetry::flight_recording()) {
+          telemetry::flight().record(telemetry::FlightLayer::kRc, num_,
+                                     "rc_nak", nic_.simulator().now(),
+                                     telemetry::kNoMsg, rc_epsn_, pkt.psn);
+        }
         WirePacket nak;
         nak.dst_nic = remote_nic_;
         nak.dst_qp = pkt.src_qp;
@@ -538,6 +560,12 @@ void Qp::rc_sr_receive(WirePacket&& pkt) {
     if (!rc_nak_outstanding_) {
       rc_nak_outstanding_ = true;
       ++stats_.rc_naks_sent;
+      if (telemetry::flight_recording()) {
+        telemetry::flight().record(telemetry::FlightLayer::kRc, num_,
+                                   "rc_nak", nic_.simulator().now(),
+                                   telemetry::kNoMsg, rc_epsn_,
+                                   rc_ooo_received_.size());
+      }
       WirePacket nak;
       nak.dst_nic = remote_nic_;
       nak.dst_qp = pkt.src_qp;
@@ -559,11 +587,24 @@ void Qp::rc_arm_timer() {
 }
 
 void Qp::rc_on_timeout() {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kRc);
   if (rc_unacked_.empty()) return;
   if (telemetry::tracing()) {
     telemetry::tracer().emit(nic_.simulator().now(),
                              telemetry::TraceEventType::kRtoFired, num_,
                              telemetry::kNoMsg, rc_unacked_.front().pkt.psn);
+  }
+  if (telemetry::spanning()) {
+    telemetry::spans().on_instant(nic_.simulator().now(),
+                                  telemetry::TraceEventType::kRtoFired,
+                                  telemetry::kNoMsg,
+                                  rc_unacked_.front().pkt.psn);
+  }
+  if (telemetry::flight_recording()) {
+    telemetry::flight().record(telemetry::FlightLayer::kRc, num_, "rc_rto",
+                               nic_.simulator().now(), telemetry::kNoMsg,
+                               rc_unacked_.front().pkt.psn,
+                               rc_unacked_.size(), rc_retries_);
   }
   ++rc_retries_;
   if (rc_retries_ > config_.rc_retry_limit) {

@@ -1,0 +1,114 @@
+// Property tests for the log-bucketed latency histogram.
+//
+// Two invariants matter to the fig10/fig13 rollups and were easy to break
+// silently:
+//   * quantile monotonicity — percentile(p) must be non-decreasing in p for
+//     ANY sample set (p50 <= p99 <= p99.9 <= max),
+//   * merge commutativity — merging per-trial histograms in any order must
+//     give identical buckets, count and percentiles (the sweep engine
+//     merges worker-local histograms in nondeterministic completion order).
+// Plus the regression that motivated them: 99.9/100.0 rounds UP in binary,
+// so on a 1000-sample histogram p99.9 used to land on rank 1000 (the max)
+// instead of rank 999.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using sdr::Histogram;
+using sdr::Rng;
+
+// Draw a sample set whose shape varies per seed: mixtures of uniform,
+// exponential tails, and point masses exercise sparse and dense buckets.
+std::vector<double> sample_set(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  const double point_mass = rng.next_double() * 1e-3 + 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.next_below(3)) {
+      case 0: out.push_back(rng.next_double() * 1e-2 + 1e-7); break;
+      case 1: out.push_back(rng.exponential(1e4)); break;
+      default: out.push_back(point_mass); break;
+    }
+  }
+  return out;
+}
+
+TEST(HistogramProperty, QuantilesMonotoneAcrossSeeds) {
+  const double pcts[] = {0.0, 1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0};
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Histogram h(1e-9, 1e3);
+    const std::size_t n = 1 + static_cast<std::size_t>(
+                                  Rng(seed ^ 0xABCD).next_below(5000));
+    for (double v : sample_set(seed, n)) h.record(v);
+    double prev = -1.0;
+    for (double pct : pcts) {
+      const double q = h.percentile(pct);
+      EXPECT_GE(q, prev) << "seed=" << seed << " pct=" << pct;
+      prev = q;
+    }
+    EXPECT_LE(h.percentile(100.0), h.max()) << "seed=" << seed;
+    EXPECT_GE(h.percentile(0.0), h.min()) << "seed=" << seed;
+  }
+}
+
+TEST(HistogramProperty, MergeCommutesAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    const std::size_t parts = 2 + rng.next_below(6);
+    std::vector<Histogram> shards(parts, Histogram(1e-9, 1e3));
+    for (std::size_t p = 0; p < parts; ++p) {
+      const std::size_t n = rng.next_below(800);
+      for (double v : sample_set(seed * 131 + p, n)) shards[p].record(v);
+    }
+
+    Histogram forward(1e-9, 1e3);
+    for (std::size_t p = 0; p < parts; ++p) forward.merge(shards[p]);
+    Histogram backward(1e-9, 1e3);
+    for (std::size_t p = parts; p-- > 0;) backward.merge(shards[p]);
+
+    EXPECT_EQ(forward.count(), backward.count()) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(forward.mean(), backward.mean()) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(forward.min(), backward.min()) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(forward.max(), backward.max()) << "seed=" << seed;
+    for (double pct : {50.0, 99.0, 99.9}) {
+      EXPECT_DOUBLE_EQ(forward.percentile(pct), backward.percentile(pct))
+          << "seed=" << seed << " pct=" << pct;
+    }
+  }
+}
+
+// Regression: ceil(99.9/100 * 1000) evaluates to 1000 in doubles, so p99.9
+// of exactly 1000 samples returned the max instead of the 999th-ranked
+// sample. With samples 1..1000 spread across distinct buckets, p99.9 must
+// resolve near 999, well clear of the 1000 outlier.
+TEST(HistogramProperty, P999OnSparse1000SampleHistogram) {
+  Histogram h(1e-1, 1e4, 128);
+  for (int i = 1; i <= 999; ++i) h.record(static_cast<double>(i));
+  h.record(1e4);  // rank 1000: a far-out max that p99.9 must NOT select
+  const double p999 = h.percentile(99.9);
+  EXPECT_LT(p999, 1.05 * 999.0);
+  EXPECT_GT(p999, 0.95 * 999.0);
+  // And p100 still reaches the outlier.
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1e4);
+}
+
+// The same rank arithmetic at other exact-product percentiles: p50 of an
+// even count must select rank n/2, not n/2 + 1.
+TEST(HistogramProperty, ExactRankProductsStayExact) {
+  Histogram h(1e-1, 1e4, 128);
+  for (int i = 0; i < 50; ++i) h.record(1.0);
+  for (int i = 0; i < 50; ++i) h.record(100.0);
+  // Rank 50 (= ceil(0.5 * 100)) lives in the low cluster.
+  EXPECT_LT(h.percentile(50.0), 2.0);
+  EXPECT_GT(h.percentile(51.0), 50.0);
+}
+
+}  // namespace

@@ -1,0 +1,30 @@
+# Golden-output test driver: run `CMD ARGS...`, capture stdout, compare it
+# byte-for-byte against GOLDEN. Invoked in script mode:
+#
+#   cmake -DCMD=<binary> "-DARGS=a b c" -DGOLDEN=<file> -P run_and_compare.cmake
+#
+# On mismatch the actual output is saved as <golden-name>.actual in the
+# working directory (ctest runs tests in the build tree) so
+# `diff tests/golden/x.txt x.txt.actual` explains the failure — and, for an
+# intentional output change, `cp` refreshes the golden.
+if(NOT DEFINED CMD OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "usage: cmake -DCMD=... [-DARGS=...] -DGOLDEN=... -P run_and_compare.cmake")
+endif()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${CMD} ${arg_list}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${CMD} ${ARGS} exited with ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  get_filename_component(golden_name "${GOLDEN}" NAME)
+  file(WRITE "${golden_name}.actual" "${actual}")
+  message(FATAL_ERROR
+    "output of ${CMD} ${ARGS} differs from ${GOLDEN}\n"
+    "actual output saved to ${golden_name}.actual")
+endif()

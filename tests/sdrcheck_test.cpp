@@ -205,6 +205,41 @@ TEST(Sdrcheck, ReproCommandFormat) {
   EXPECT_EQ(repro_command(17, 3), "sdrcheck --seed=17 --shrink-level=3");
 }
 
+TEST(Sdrcheck, FlightAndSpanCapturesMergePerArm) {
+  CheckOptions opts;  // capture_flight defaults on
+  opts.capture_spans = true;
+  const SeedReport report = check_seed(1, opts);
+  ASSERT_TRUE(report.ok()) << report.failure_text();
+  ASSERT_EQ(report.arms.size(), 3u);
+
+  // Every arm filled both postmortem channels.
+  for (const ArmResult& arm : report.arms) {
+    EXPECT_FALSE(arm.flight_json.empty()) << arm.name;
+    EXPECT_FALSE(arm.chrome_events.empty()) << arm.name;
+  }
+
+  // The merged flight dump names the seed and every arm.
+  const std::string flight = report.flight_json();
+  EXPECT_NE(flight.find("\"seed\":1"), std::string::npos);
+  for (const ArmResult& arm : report.arms) {
+    EXPECT_NE(flight.find("\"arm\":\"" + arm.name + "\""), std::string::npos);
+  }
+
+  // The merged Chrome document wraps all arms' events; per-arm pid bases
+  // keep their metadata rows distinct.
+  const std::string chrome = report.chrome_json();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"pid\":8"), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":16"), std::string::npos);
+
+  // Off by default: the plain path records no spans.
+  const SeedReport plain = check_seed(1, CheckOptions{});
+  for (const ArmResult& arm : plain.arms) {
+    EXPECT_TRUE(arm.chrome_events.empty()) << arm.name;
+  }
+  EXPECT_TRUE(plain.chrome_json().empty());
+}
+
 /// First seed >= `from` whose scenario exposes the SR cumulative-ACK bug:
 /// plain RTO flavor (NACK recovery would re-request the skipped chunk and
 /// mask it) with a deterministic scripted drop (so the ACK path observes a
@@ -244,6 +279,16 @@ TEST(Sdrcheck, InjectedAckOffByOneIsCaughtAndShrunk) {
   EXPECT_LE(shrunk.minimal.scenario.messages.size(), 2u);
   EXPECT_LE(shrunk.minimal.scenario.scripted_drops.size(), 4u);
   EXPECT_EQ(shrunk.repro, repro_command(seed, shrunk.level));
+  // The minimal report carries flight-recorder postmortem data (the CLI
+  // dumps it next to the repro line). The ring's last-N window tells the
+  // stall story directly: the off-by-one leaves the sender one packet
+  // short forever, so the tail of the ring is a loop of duplicate ACKs
+  // for the same cumulative edge, with the early write/ack records long
+  // since overwritten.
+  const std::string flight = shrunk.minimal.flight_json();
+  EXPECT_NE(flight.find("\"arm\":\"sr_"), std::string::npos) << flight;
+  EXPECT_NE(flight.find("\"what\":\"ack_sent\""), std::string::npos) << flight;
+  EXPECT_NE(flight.find("\"overwritten\":"), std::string::npos) << flight;
 
   // The repro command's (seed, level) pair replays the same failure.
   const SeedReport replay = check_seed(seed, opts, shrunk.level);

@@ -123,6 +123,9 @@ class TelemetryStackTest : public ::testing::Test {
   void TearDown() override {
     tracer().disarm();
     registry().disable();
+    spans().disarm();
+    flight().disarm();
+    profiler().disarm();
   }
 };
 
@@ -376,6 +379,238 @@ TEST_F(TelemetryStackTest, TracerRingIsBoundedAndOverwritesOldest) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_LE(events[i - 1].t, events[i].t);
   }
+}
+
+// --- spans: causal tree for a dropped-then-retransmitted chunk -----------
+
+TEST_F(TelemetryStackTest, SpanTreeReconstructsDroppedChunkRecovery) {
+  spans().arm();
+  spans().track("sr_test");
+  // chunk == MTU so one chunk is one wire attempt and indices line up.
+  LossyRig rig(0.05, 1024, /*seed=*/7);
+  rig.transfer(64 * 1024, 3);
+  ASSERT_GT(rig.sender->stats().retransmissions, 0u);
+
+  auto& sp = spans();
+  ASSERT_GT(sp.size(), 0u);
+  EXPECT_EQ(sp.truncated(), 0u);
+
+  // Find a dropped wire attempt whose chunk tells the full recovery story:
+  // attempt#0 (dropped) -> rto_fired -> retransmit -> attempt#1 delivered.
+  bool found = false;
+  for (SpanIndex i = 0; i < sp.size() && !found; ++i) {
+    const Span& first = sp.at(i);
+    if (first.kind != SpanKind::kAttempt ||
+        first.outcome != SpanOutcome::kDropped) {
+      continue;
+    }
+    ASSERT_NE(first.parent, kNoSpan);
+    const Span& chunk = sp.at(first.parent);
+    ASSERT_EQ(chunk.kind, SpanKind::kChunk);
+
+    SpanIndex rto = kNoSpan, rtx = kNoSpan, second = kNoSpan;
+    for (SpanIndex c : sp.children(first.parent)) {
+      const Span& s = sp.at(c);
+      if (s.kind == SpanKind::kInstant &&
+          s.what == TraceEventType::kRtoFired && s.cause == i) {
+        rto = c;
+      } else if (s.kind == SpanKind::kInstant &&
+                 s.what == TraceEventType::kRetransmit && rto != kNoSpan &&
+                 s.cause == rto) {
+        rtx = c;
+      } else if (s.kind == SpanKind::kAttempt && rtx != kNoSpan &&
+                 s.cause == rtx && s.outcome == SpanOutcome::kComplete) {
+        second = c;
+      }
+    }
+    if (rto == kNoSpan || rtx == kNoSpan || second == kNoSpan) continue;
+
+    // Sim-time ordering along the causal chain.
+    EXPECT_LE(first.begin, first.end);
+    EXPECT_LE(first.end, sp.at(rto).begin);
+    EXPECT_LE(sp.at(rto).begin, sp.at(rtx).begin);
+    EXPECT_LE(sp.at(rtx).begin, sp.at(second).begin);
+    EXPECT_GT(sp.at(second).attempt, first.attempt);
+
+    // The chunk closed after its successful attempt, and the owning
+    // message span closed after the chunk.
+    EXPECT_EQ(chunk.outcome, SpanOutcome::kComplete);
+    EXPECT_LE(sp.at(second).end, chunk.end);
+    ASSERT_NE(chunk.parent, kNoSpan);
+    const Span& msg = sp.at(chunk.parent);
+    EXPECT_EQ(msg.kind, SpanKind::kMessage);
+    EXPECT_EQ(msg.outcome, SpanOutcome::kComplete);
+    EXPECT_LE(chunk.end, msg.end);
+    EXPECT_EQ(sp.find_message(msg.msg), chunk.parent);
+    found = true;
+  }
+  EXPECT_TRUE(found)
+      << "no dropped attempt had a complete rto->retransmit->redelivery "
+         "chain in the span tree";
+
+  // Chrome export: valid wrapper, named track, named instants, flow links.
+  const std::string json = sp.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("sr_test"), std::string::npos);
+  EXPECT_NE(json.find("rto_fired"), std::string::npos);
+  EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+}
+
+TEST_F(TelemetryStackTest, SpanPoolIsBoundedAndCountsTruncation) {
+  spans().arm(/*capacity=*/4);
+  LossyRig rig(0.05, 1024, /*seed=*/7);
+  rig.transfer(16 * 1024, 3);
+  EXPECT_LE(spans().size(), 4u);
+  EXPECT_GT(spans().truncated(), 0u);
+  // Export still works on a saturated pool.
+  EXPECT_NE(spans().to_chrome_json().find("\"traceEvents\""),
+            std::string::npos);
+}
+
+// --- flight recorder: bounded postmortem rings ---------------------------
+
+TEST_F(TelemetryStackTest, FlightRingOverwritesOldestPerConnection) {
+  flight().arm(/*per_conn_capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    flight().record(FlightLayer::kSr, /*conn=*/1, "tick",
+                    SimTime::from_seconds(i * 1e-3), /*msg=*/i, i);
+  }
+  flight().record(FlightLayer::kRc, /*conn=*/2, "once", SimTime{}, 0);
+  EXPECT_EQ(flight().connections(), 2u);
+  const auto h = flight().history(1);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.front().msg, 6u) << "oldest surviving record";
+  EXPECT_EQ(h.back().msg, 9u);
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    EXPECT_LE(h[i - 1].t, h[i].t);
+  }
+  const std::string json = flight().to_json();
+  EXPECT_NE(json.find("\"overwritten\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"conn\":2"), std::string::npos);
+}
+
+TEST_F(TelemetryStackTest, FlightRecordsProtocolStoryOfLossyTransfer) {
+  flight().arm();
+  LossyRig rig(0.05, 1024, /*seed=*/7);
+  rig.transfer(64 * 1024, 3);
+  ASSERT_GT(rig.sender->stats().retransmissions, 0u);
+  EXPECT_GT(flight().connections(), 0u);
+  const std::string json = flight().to_json();
+  EXPECT_NE(json.find("\"what\":\"write\""), std::string::npos);
+  EXPECT_NE(json.find("\"what\":\"rto_fired\""), std::string::npos);
+  EXPECT_NE(json.find("\"what\":\"retransmit\""), std::string::npos);
+  EXPECT_NE(json.find("\"what\":\"msg_done\""), std::string::npos);
+}
+
+// --- profiler: nested self-time attribution ------------------------------
+
+TEST(ProfilerTest, NestedScopesAttributeSelfTime) {
+  Profiler p;
+  p.arm();
+  auto spin = [] {
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 2'000'000; ++i) sink += i;
+  };
+  ASSERT_TRUE(p.enter(ProfCategory::kSim));
+  spin();
+  ASSERT_TRUE(p.enter(ProfCategory::kChannel));
+  spin();
+  p.leave();
+  spin();
+  p.leave();
+
+  const auto& sim = p.entry(ProfCategory::kSim);
+  const auto& chan = p.entry(ProfCategory::kChannel);
+  EXPECT_EQ(sim.calls, 1u);
+  EXPECT_EQ(chan.calls, 1u);
+  EXPECT_GT(sim.self_ns, 0u);
+  EXPECT_GT(chan.self_ns, 0u);
+  // Self time excludes the nested scope, so neither side swallowed the
+  // other: both spins attribute separately and sum to the total.
+  EXPECT_EQ(p.total_self_ns(), sim.self_ns + chan.self_ns);
+  const std::string table = p.table();
+  EXPECT_NE(table.find("sim"), std::string::npos);
+  EXPECT_NE(table.find("channel"), std::string::npos);
+  p.disarm();
+}
+
+// --- ScopedTelemetry: full five-instrument install and restore -----------
+
+TEST(ScopedTelemetryFullStack, FiveInstrumentsInstallNestAndRestore) {
+  Registry reg;
+  Tracer trc;
+  SpanRecorder sp;
+  FlightRecorder fl;
+  Profiler pr;
+  reg.enable();
+  trc.arm(256);
+  sp.arm(1024);
+  fl.arm(8);
+  pr.arm();
+  ASSERT_FALSE(spanning());
+  ASSERT_FALSE(flight_recording());
+  ASSERT_FALSE(profiling());
+  {
+    ScopedTelemetry scoped(&reg, &trc, &sp, &fl, &pr);
+    EXPECT_TRUE(spanning());
+    EXPECT_TRUE(flight_recording());
+    EXPECT_TRUE(profiling());
+    EXPECT_EQ(&spans(), &sp);
+    EXPECT_EQ(&flight(), &fl);
+    EXPECT_EQ(&profiler(), &pr);
+    flight().record(FlightLayer::kSr, 1, "probe", SimTime{}, 7);
+    {
+      SpanRecorder inner;  // deliberately disarmed
+      ScopedTelemetry nested(nullptr, nullptr, &inner);
+      EXPECT_EQ(&spans(), &inner);
+      EXPECT_FALSE(spanning()) << "fast flag must track the disarmed inner";
+      // nullptr slots mean "process default", not "inherit the enclosing
+      // override" — the nested scope swaps flight back to the (disarmed)
+      // default and the destructor reinstates fl.
+      EXPECT_FALSE(flight_recording());
+      EXPECT_NE(&flight(), &fl);
+    }
+    EXPECT_TRUE(flight_recording());
+    EXPECT_EQ(&spans(), &sp);
+    EXPECT_TRUE(spanning()) << "fast flag must resync on restore";
+  }
+  EXPECT_FALSE(spanning());
+  EXPECT_FALSE(flight_recording());
+  EXPECT_FALSE(profiling());
+  EXPECT_EQ(fl.history(1).size(), 1u) << "record landed in the override";
+}
+
+// --- sampler: late-column footer ------------------------------------------
+
+TEST(SamplerFooterTest, ColumnsFooterAppearsOnlyForMidRunColumns) {
+  auto run_once = [](bool late_column) -> std::string {
+    Registry reg;
+    reg.enable();
+    Sampler sampler(reg, 1e-3);
+    Counter a = reg.counter("early.metric");
+    a.inc(3);
+    sampler.sample(0.0);
+    if (late_column) {
+      Counter b = reg.counter("late.metric");
+      b.inc(5);
+    }
+    sampler.sample(1e-3);
+    return sampler.to_csv();
+  };
+
+  const std::string with_late = run_once(true);
+  EXPECT_NE(with_late.find("# columns: sim_time_s,early.metric,late.metric"),
+            std::string::npos)
+      << with_late;
+  // The footer is the last line, after every data row.
+  EXPECT_GT(with_late.find("# columns:"), with_late.rfind("0.001,"));
+
+  const std::string without = run_once(false);
+  EXPECT_EQ(without.find("# columns:"), std::string::npos) << without;
+
+  // Determinism: identical runs give bit-identical output, footer included.
+  EXPECT_EQ(with_late, run_once(true));
+  EXPECT_EQ(without, run_once(false));
 }
 
 // --- satellite: Histogram / RunningStats edge cases ----------------------

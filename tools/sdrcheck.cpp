@@ -3,11 +3,16 @@
 // Modes:
 //   sdrcheck --seeds=N [--base-seed=S] [--jobs=J]   batch fuzz run
 //   sdrcheck --seed=S [--shrink-level=K]            replay one scenario
+//            [--trace-perfetto=FILE]
 //
 // A batch run prints one line per failing seed plus the shrunk repro
 // command; exit status is nonzero iff any oracle fired. A replay prints
 // the scenario description, every arm's oracle verdicts, and (on failure)
-// the tail of the packet-lifecycle trace.
+// the tail of the packet-lifecycle trace. Failures additionally dump the
+// per-connection flight-recorder rings (the last protocol state
+// transitions of every arm) to sdrcheck_flight_<seed>.json and print the
+// exact --trace-perfetto replay command that captures a causal span trace
+// of the failing scenario.
 //
 // Determinism contract: seeds map to scenarios through common::Rng
 // (xoshiro256**, golden-pinned), so `sdrcheck --seed=S --shrink-level=K`
@@ -36,6 +41,7 @@ struct CliArgs {
   int shrink_level{0};
   unsigned jobs{1};
   const char* failing_seed_file{nullptr};
+  const char* trace_perfetto{nullptr};
 };
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -50,7 +56,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --seeds=N [--base-seed=S] [--jobs=J] "
                "[--failing-seed-file=PATH]\n"
-               "       %s --seed=S [--shrink-level=K]\n",
+               "       %s --seed=S [--shrink-level=K] "
+               "[--trace-perfetto=FILE]\n",
                argv0, argv0);
   return 2;
 }
@@ -75,6 +82,8 @@ bool parse_args(int argc, char** argv, CliArgs* args) {
       args->jobs = static_cast<unsigned>(v);
     } else if (std::strncmp(a, "--failing-seed-file=", 20) == 0) {
       args->failing_seed_file = a + 20;
+    } else if (std::strncmp(a, "--trace-perfetto=", 17) == 0) {
+      args->trace_perfetto = a + 17;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       return false;
@@ -102,11 +111,47 @@ void print_report(const SeedReport& report) {
   }
 }
 
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Failure postmortem: dump the flight-recorder rings next to the repro
+/// line and print the span-trace replay command.
+void print_postmortem(const SeedReport& report) {
+  const std::string flight = report.flight_json();
+  if (!flight.empty()) {
+    const std::string path =
+        "sdrcheck_flight_" + std::to_string(report.seed) + ".json";
+    if (write_text_file(path, flight)) {
+      std::printf("  flight recorder: %s\n", path.c_str());
+    }
+  }
+  std::string replay =
+      sdr::check::repro_command(report.seed, report.shrink_level);
+  replay += " --trace-perfetto=sdrcheck_trace_" +
+            std::to_string(report.seed) + ".json";
+  std::printf("  span trace: `%s`\n", replay.c_str());
+}
+
 int run_single(const CliArgs& args) {
-  const CheckOptions opts;
+  CheckOptions opts;
+  opts.capture_spans = args.trace_perfetto != nullptr;
   const SeedReport report =
       sdr::check::check_seed(args.seed, opts, args.shrink_level);
   print_report(report);
+  if (args.trace_perfetto != nullptr) {
+    const std::string chrome = report.chrome_json();
+    if (!chrome.empty() && write_text_file(args.trace_perfetto, chrome)) {
+      std::printf("wrote span trace to %s\n", args.trace_perfetto);
+    }
+  }
   if (report.ok()) {
     std::printf("PASS: all oracles hold\n");
     return 0;
@@ -114,6 +159,7 @@ int run_single(const CliArgs& args) {
   std::printf("FAIL: repro with `%s`\n",
               sdr::check::repro_command(report.seed, report.shrink_level)
                   .c_str());
+  print_postmortem(report);
   return 1;
 }
 
@@ -130,6 +176,7 @@ int run_batch(const CliArgs& args) {
                 shrunk.level, shrunk.minimal.scenario.describe().c_str());
     std::printf("%s", shrunk.minimal.failure_text().c_str());
     std::printf("  repro: %s\n", shrunk.repro.c_str());
+    print_postmortem(shrunk.minimal);
   }
   if (args.failing_seed_file != nullptr && !batch.ok()) {
     if (std::FILE* f = std::fopen(args.failing_seed_file, "w")) {

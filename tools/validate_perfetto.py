@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a --trace-perfetto export against the Chrome trace-event schema.
+
+Stdlib-only (CI runners have no jsonschema package): the schema below is
+expressed as a small validator covering the subset of the trace-event
+format the span recorder emits — complete ("X") duration events, instants
+("i"), flow arrows ("s"/"f"), and metadata ("M") rows. Exits nonzero with
+a path-anchored message on the first violation.
+
+Usage: validate_perfetto.py trace.json
+"""
+import json
+import sys
+
+# Required keys per phase, beyond the common ones.
+COMMON = {"name": str, "ph": str, "pid": int, "tid": int}
+PER_PHASE = {
+    "X": {"ts": (int, float), "dur": (int, float)},
+    "i": {"ts": (int, float)},
+    "s": {"ts": (int, float), "id": (int, str)},
+    "f": {"ts": (int, float), "id": (int, str)},
+    "M": {"args": dict},
+}
+
+
+def fail(msg):
+    print(f"validate_perfetto: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        fail(f"{where}: not an object")
+    for key, typ in COMMON.items():
+        if key not in ev:
+            fail(f"{where}: missing '{key}': {ev}")
+        if not isinstance(ev[key], typ):
+            fail(f"{where}.{key}: expected {typ.__name__}: {ev}")
+    ph = ev["ph"]
+    if ph not in PER_PHASE:
+        fail(f"{where}.ph: unknown phase {ph!r}")
+    for key, typ in PER_PHASE[ph].items():
+        if key not in ev:
+            fail(f"{where} (ph={ph}): missing '{key}': {ev}")
+        if not isinstance(ev[key], typ):
+            fail(f"{where}.{key} (ph={ph}): wrong type: {ev}")
+    if ph == "X" and ev["dur"] < 0:
+        fail(f"{where}: negative duration: {ev}")
+    if ph in ("X", "i") and ev["ts"] < 0:
+        fail(f"{where}: negative timestamp: {ev}")
+    if ph == "M":
+        if ev["name"] not in ("process_name", "thread_name"):
+            fail(f"{where}: unexpected metadata row {ev['name']!r}")
+        if not isinstance(ev["args"].get("name"), str):
+            fail(f"{where}: metadata args.name missing: {ev}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_perfetto.py trace.json")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(f"displayTimeUnit invalid: {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not a list")
+
+    phases = {}
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+        phases[ev["ph"]] = phases.get(ev["ph"], 0) + 1
+
+    if phases.get("X", 0) == 0:
+        fail("no duration spans — the recorder captured nothing")
+    if phases.get("M", 0) == 0:
+        fail("no metadata rows — tracks are unnamed")
+    # Flow arrows come in start/finish pairs sharing an id.
+    if phases.get("s", 0) != phases.get("f", 0):
+        fail(f"unpaired flow arrows: {phases.get('s', 0)} starts, "
+             f"{phases.get('f', 0)} finishes")
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    if starts != finishes:
+        fail("flow start/finish id sets differ")
+
+    print(f"validate_perfetto: OK: {len(events)} events "
+          f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants, "
+          f"{phases.get('s', 0)} flow links, {phases.get('M', 0)} metadata)")
+
+
+if __name__ == "__main__":
+    main()
