@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fleet/fleet.hpp"
 #include "model/link_params.hpp"
 #include "model/protocols.hpp"
 #include "sweep/sweep.hpp"
@@ -104,6 +105,86 @@ void run_differential_oracle(const std::vector<ArmResult>& arms,
         break;
       }
     }
+  }
+}
+
+/// Domain separator for the fleet run's seed stream (decorrelates the fleet
+/// traffic from the point-to-point arms above).
+constexpr std::uint64_t kFleetStream = 0xF1EE7CULL;
+
+/// The scenario's forward loss as a single i.i.d. rate the fleet fabric can
+/// carry, clamped so the RC baseline cannot retry-storm past the horizon.
+double fleet_drop_rate(const Scenario& s) {
+  double p = 0.0;
+  switch (s.drop) {
+    case DropKind::kClean: break;
+    case DropKind::kIid: p = s.iid_p; break;
+    case DropKind::kGilbertElliott: {
+      const double denom = s.ge_p_good_to_bad + s.ge_p_bad_to_good;
+      const double frac_bad = denom > 0.0 ? s.ge_p_good_to_bad / denom : 0.0;
+      p = (1.0 - frac_bad) * s.ge_loss_good + frac_bad * s.ge_loss_bad;
+      break;
+    }
+    case DropKind::kScripted: p = 1e-4; break;
+  }
+  return std::min(p, 0.01);
+}
+
+/// Fleet-mode oracles: run a small two-DC fleet at the scenario's geometry
+/// and loss point and check the invariants no scheme may break — every
+/// posted message completes or is accounted as failed, the event queue and
+/// payload pool quiesce at the horizon, and the per-tenant rollups conserve
+/// the fleet totals.
+void run_fleet_oracle(const Scenario& s,
+                      std::vector<std::string>* failures) {
+  fleet::FleetConfig cfg = fleet::FleetConfig::defaults();
+  cfg.dcs = 2;
+  cfg.endpoints_per_dc = s.fleet_endpoints_per_dc;
+  cfg.messages_per_connection = s.fleet_messages_per_connection;
+  cfg.scheme = s.fleet_scheme == 0   ? fleet::Scheme::kSr
+               : s.fleet_scheme == 1 ? fleet::Scheme::kEc
+                                     : fleet::Scheme::kRc;
+  cfg.collective = s.fleet_collective;
+  cfg.collective_iterations = 1;
+  cfg.distance_km = std::clamp(s.distance_km, 10.0, 5000.0);
+  cfg.p_drop = fleet_drop_rate(s);
+  cfg.seed = derive_seed(s.seed, kFleetStream);
+
+  const fleet::FleetResult r = fleet::run_fleet(cfg);
+  const auto fail = [failures](const std::string& what) {
+    failures->push_back("fleet oracle: " + what);
+  };
+
+  if (!r.quiesced) fail("event queue did not quiesce before the horizon");
+  if (r.payload_live_slots != 0) {
+    fail("payload pool leaked " + std::to_string(r.payload_live_slots) +
+         " live slots after the run");
+  }
+  if (r.messages_completed + r.messages_failed > r.messages_posted) {
+    fail("completed " + std::to_string(r.messages_completed) + " + failed " +
+         std::to_string(r.messages_failed) + " exceeds posted " +
+         std::to_string(r.messages_posted));
+  }
+  // A quiesced fleet has no in-flight work left: everything posted must be
+  // accounted as completed or failed (RC give-ups land in neither bucket
+  // only while events are still pending, which quiesce rules out).
+  if (r.quiesced &&
+      r.messages_completed + r.messages_failed != r.messages_posted) {
+    fail("quiesced with " +
+         std::to_string(r.messages_posted - r.messages_completed -
+                        r.messages_failed) +
+         " posted messages unaccounted");
+  }
+  std::uint64_t posted = 0, completed = 0, failed = 0, bytes = 0;
+  for (const fleet::TenantResult& t : r.tenants) {
+    posted += t.posted;
+    completed += t.completed;
+    failed += t.failed;
+    bytes += t.useful_bytes;
+  }
+  if (posted != r.messages_posted || completed != r.messages_completed ||
+      failed != r.messages_failed || bytes != r.useful_bytes) {
+    fail("per-tenant rollups do not conserve the fleet totals");
   }
 }
 
@@ -214,6 +295,9 @@ SeedReport check_seed(std::uint64_t seed, const CheckOptions& opts,
   run_differential_oracle(report.arms, &report.failures);
   if (opts.model_oracle && model_oracle_applies(report.scenario)) {
     run_model_oracle(report.scenario, report.arms[0], &report.failures);
+  }
+  if (report.scenario.fleet_mode) {
+    run_fleet_oracle(report.scenario, &report.failures);
   }
   return report;
 }

@@ -129,6 +129,13 @@ std::string Scenario::describe() const {
   if (far_timers) {
     out += " far_timers=" + std::to_string(far_timer_count);
   }
+  if (fleet_mode) {
+    static constexpr const char* kSchemes[] = {"sr", "ec", "rc"};
+    out += " fleet(" + std::string(kSchemes[fleet_scheme % 3]) +
+           ",epd=" + std::to_string(fleet_endpoints_per_dc) +
+           ",mpc=" + std::to_string(fleet_messages_per_connection) +
+           (fleet_collective ? ",coll)" : ")");
+  }
   return out;
 }
 
@@ -220,6 +227,13 @@ Scenario generate_scenario(std::uint64_t seed) {
     s.far_timers = true;
     s.far_timer_count = 8 + rng.next_below(25);  // 8..32 far timers
   }
+  if (rng.bernoulli(0.25)) {
+    s.fleet_mode = true;
+    s.fleet_endpoints_per_dc = 2 + rng.next_below(3);        // 2..4
+    s.fleet_messages_per_connection = 3 + rng.next_below(4);  // 3..6
+    s.fleet_scheme = rng.next_below(3);
+    s.fleet_collective = rng.bernoulli(0.5);
+  }
   return s;
 }
 
@@ -273,6 +287,23 @@ bool shrink_once(Scenario& s) {
     s.perturb_rto = false;
     s.far_timers = false;
     s.far_timer_count = 0;
+    return true;
+  }
+  // Rule 5 (appended): shrink the fleet — fewer endpoints, then fewer
+  // messages, then no collective. The mode itself is never disabled: a
+  // fleet-oracle failure needs a fleet to reproduce.
+  if (s.fleet_mode && s.fleet_endpoints_per_dc > 2) {
+    s.fleet_endpoints_per_dc = (s.fleet_endpoints_per_dc + 1) / 2;
+    if (s.fleet_endpoints_per_dc < 2) s.fleet_endpoints_per_dc = 2;
+    return true;
+  }
+  if (s.fleet_mode && s.fleet_messages_per_connection > 2) {
+    s.fleet_messages_per_connection =
+        (s.fleet_messages_per_connection + 1) / 2;
+    return true;
+  }
+  if (s.fleet_mode && s.fleet_collective) {
+    s.fleet_collective = false;
     return true;
   }
   return false;

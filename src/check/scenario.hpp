@@ -85,6 +85,18 @@ struct Scenario {
   double perturb_at_s{0.0};
   double perturb_rto_multiple{1.0};
 
+  // Fleet mode (appended generator fields): a seed subset additionally
+  // runs a small two-DC fleet (src/fleet/) at this scenario's geometry and
+  // loss point and checks the fleet-level oracles — every posted message
+  // completes or is accounted as failed, the event queue and payload pool
+  // quiesce at the horizon, and per-tenant counters conserve the fleet
+  // totals. Shrink rules for these fields are appended to the ladder.
+  bool fleet_mode{false};
+  std::size_t fleet_endpoints_per_dc{0};
+  std::size_t fleet_messages_per_connection{0};
+  std::size_t fleet_scheme{0};  // 0 = SR, 1 = EC, 2 = RC
+  bool fleet_collective{false};
+
   // Far-horizon timer perturbation (timer-wheel overflow exercise): the
   // runner schedules this many timers past the wheel's 2^36 ns (~68.7 s)
   // horizon alongside the protocol run, cancels every other one, and

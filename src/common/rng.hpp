@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace sdr {
 
@@ -176,6 +177,114 @@ class Rng {
   }
 
   std::uint64_t s_[4]{};
+};
+
+/// Zipf(s) sampler over ranks {1, ..., n}: P(rank k) proportional to k^-s.
+/// The fleet traffic model uses it for message-size ranks — datacenter
+/// traffic is dominated by small ops with a heavy bulk tail (Storm-style
+/// mixes), which a power law captures with one parameter.
+///
+/// The CDF is precomputed once and sampled by binary search, so draws are
+/// exact (no rejection loop whose iteration count could depend on float
+/// rounding) and consume exactly one generator value each — the property
+/// the pinned-vector determinism tests lock in, mirroring derive_seed.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n > 0 ? n : 1) {
+    const std::size_t ranks = cdf_.size();
+    double total = 0.0;
+    for (std::size_t k = 1; k <= ranks; ++k) {
+      total += std::pow(static_cast<double>(k), -s);
+      cdf_[k - 1] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding shortfall at the tail
+  }
+
+  std::size_t ranks() const { return cdf_.size(); }
+
+  /// Probability of drawing `rank` (1-based); 0 outside [1, ranks()].
+  double pmf(std::size_t rank) const {
+    if (rank < 1 || rank > cdf_.size()) return 0.0;
+    return rank == 1 ? cdf_[0] : cdf_[rank - 1] - cdf_[rank - 2];
+  }
+
+  /// Draw a rank in [1, ranks()]; rank 1 is the most probable.
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo + 1;
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+/// Homogeneous Poisson arrival process: successive calls return strictly
+/// increasing absolute arrival times whose gaps are Exponential(rate). One
+/// generator value per arrival (the inversion sampler), so interleaving
+/// several processes over derived seeds stays reproducible.
+class PoissonProcess {
+ public:
+  explicit PoissonProcess(double rate_per_s, double start_s = 0.0)
+      : rate_(rate_per_s), last_(start_s) {}
+
+  double rate() const { return rate_; }
+  double last() const { return last_; }
+
+  double next(Rng& rng) {
+    last_ += rng.exponential(rate_);
+    return last_;
+  }
+
+ private:
+  double rate_;
+  double last_;
+};
+
+/// Trace-driven arrival process: replays a recorded schedule of absolute
+/// arrival offsets (seconds). When the trace is exhausted the schedule
+/// wraps, shifted by the trace span each cycle, so a short recorded burst
+/// can drive an arbitrarily long run while preserving its temporal shape.
+/// Fully deterministic — no generator draws.
+class TraceArrivals {
+ public:
+  /// `times_s` must be non-decreasing and non-empty; `span_s` is the wrap
+  /// period (defaults to the last timestamp, i.e. back-to-back replay).
+  explicit TraceArrivals(std::vector<double> times_s, double span_s = 0.0)
+      : times_(std::move(times_s)),
+        span_(span_s > 0.0 ? span_s : (times_.empty() ? 1.0 : times_.back())) {
+    if (times_.empty()) times_.push_back(0.0);
+    if (span_ <= 0.0) span_ = 1.0;  // all-zero trace: degenerate but finite
+  }
+
+  std::size_t size() const { return times_.size(); }
+  double span() const { return span_; }
+
+  double next() {
+    const double t =
+        static_cast<double>(cycle_) * span_ + times_[index_];
+    if (++index_ == times_.size()) {
+      index_ = 0;
+      ++cycle_;
+    }
+    return t;
+  }
+
+ private:
+  std::vector<double> times_;
+  double span_;
+  std::size_t index_{0};
+  std::uint64_t cycle_{0};
 };
 
 }  // namespace sdr

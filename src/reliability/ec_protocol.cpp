@@ -255,10 +255,10 @@ void EcSender::apply_fallback_ack(MsgState& msg, std::uint64_t base,
   // all 64 bit positions per selective word.
   for (std::size_t w = 0; w < ack.selective.size(); ++w) {
     std::uint64_t word = ack.selective[w];
-    const std::size_t base = ack.selective_base + w * 64;
+    const std::size_t word_base = ack.selective_base + w * 64;
     while (word != 0) {
       const std::size_t c =
-          base + static_cast<std::size_t>(std::countr_zero(word));
+          word_base + static_cast<std::size_t>(std::countr_zero(word));
       word &= word - 1;
       if (c < config_.k) mark(c);
     }
@@ -288,8 +288,25 @@ void EcSender::finish(std::uint64_t base) {
       if (id.valid()) sim_.cancel(id);
     }
     sub_to_base_.erase(msg.data_handles[s]->msg_number());
+    // A stream whose CTS never arrived has everything still queued; the
+    // receiver completed without it (parity recovery), so it will never
+    // drain — release it instead of reap-polling it forever.
+    if (!msg.data_handles[s]->cts_ready()) {
+      qp_.send_abort(msg.data_handles[s]);
+      continue;
+    }
     qp_.send_stream_end(msg.data_handles[s]);
     reap(msg.data_handles[s]);
+  }
+  for (std::size_t s = 0; s < msg.submessages; ++s) {
+    // Parity one-shots self-reap once injected; a CTS-less one never will.
+    // A reaped handle may already carry a newer message (the slot pool
+    // recycles), so only touch it if it still holds our number (parity
+    // numbers follow the data numbers: base + submessages + s).
+    core::SendHandle* parity = msg.parity_handles[s];
+    if (parity->msg_number() != base + msg.submessages + s) continue;
+    if (parity->cts_ready()) continue;
+    qp_.send_abort(parity);
   }
   if (msg.done) msg.done(Status::ok());
 }
@@ -381,6 +398,11 @@ Status EcReceiver::expect(std::uint8_t* buffer, std::size_t length,
   for (std::size_t s = 0; s < L; ++s) {
     handle_to_base_[msg.data_handles[s]->msg_number()] = base;
     handle_to_base_[msg.parity_handles[s]->msg_number()] = base;
+  }
+
+  if (config_.cts_retry_s > 0.0) {
+    sim_.schedule(SimTime::from_seconds(config_.cts_retry_s),
+                  [this, base] { cts_tick(base); });
   }
 
   // Global deadlock-prevention timeout (armed at posting).
@@ -591,6 +613,32 @@ void EcReceiver::on_fto(std::uint64_t base) {
   // may not even have posted the message yet.
   arm_fto(msg, base);
   if (first_fire) fallback_ack_tick(base);
+}
+
+void EcReceiver::cts_tick(std::uint64_t base) {
+  telemetry::ProfScope prof(telemetry::ProfCategory::kEc);
+  const auto it = messages_.find(base);
+  if (it == messages_.end()) return;
+  MsgState& msg = it->second;
+  if (msg.complete) return;
+  // Re-CTS every stream that has produced nothing: either its CTS was
+  // lost (the sender's chunks sit queued until one lands) or the stream
+  // itself is still in flight — the retry pace is several RTTs, so an
+  // in-flight first chunk wins the race and the duplicate never sends.
+  bool silent = false;
+  for (core::RecvHandle* h : msg.data_handles) {
+    if (qp_.recv_packets(h) != 0) continue;
+    qp_.resend_cts(h);
+    silent = true;
+  }
+  for (core::RecvHandle* h : msg.parity_handles) {
+    if (qp_.recv_packets(h) != 0) continue;
+    qp_.resend_cts(h);
+    silent = true;
+  }
+  if (!silent) return;  // every stream has started; nothing left to nudge
+  sim_.schedule(SimTime::from_seconds(config_.cts_retry_s),
+                [this, base] { cts_tick(base); });
 }
 
 void EcReceiver::fallback_ack_tick(std::uint64_t base) {

@@ -45,6 +45,14 @@ struct EcProtoConfig {
   /// set at message posting to prevent deadlock".
   double global_timeout_factor{50.0};
   std::size_t final_ack_repeats{3};
+  /// Receiver-side CTS retry pace (see SrProtoConfig::cts_retry_s). Every
+  /// data/parity submessage stream rides its own CTS datagram; a lost one
+  /// silently downgrades the submessage to fallback recovery — or, when
+  /// more than m streams of a submessage are wedged, to the global-timeout
+  /// abort. When > 0, streams that have produced no packets get their CTS
+  /// re-sent every cts_retry_s until data lands or the message completes.
+  /// 0 keeps the paper's single-CTS handshake.
+  double cts_retry_s{0.0};
 };
 
 struct EcSenderStats {
@@ -167,6 +175,7 @@ class EcReceiver {
 
   void register_metrics();
   void on_chunk_event(const core::RecvEvent& event);
+  void cts_tick(std::uint64_t base);
   bool submessage_recoverable(const MsgState& msg, std::size_t sub) const;
   bool try_recover(MsgState& msg, std::size_t sub);
   void check_message(MsgState& msg, std::uint64_t base);

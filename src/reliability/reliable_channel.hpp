@@ -45,6 +45,12 @@ class ReliableChannel {
     /// Eager retransmission timeout (stop-and-wait); derived as 1.5 RTT.
     double eager_rto_s{0.05};
 
+    /// Pre-posted control-path datagram buffers per ControlLink. The
+    /// default suits a single heavily pipelined channel; fleet scenarios
+    /// with hundreds of channels shrink it (each buffer is a ~4 KiB
+    /// allocation, two links per channel).
+    std::size_t control_recv_buffers{256};
+
     /// Derive protocol timeouts from the link profile (RTO = 3 RTT for the
     /// RTO scheme, 1.2 RTT with NACK; paper §5.1.1).
     void derive_timeouts();

@@ -363,9 +363,25 @@ Status SrReceiver::expect(std::uint8_t* buffer, std::size_t length,
   msg.done = std::move(done);
   msg.last_nack_s.assign(msg.chunks, -1.0);
   msg.complete = false;
+  msg.data_seen = false;
   ++stats_.messages;
   ack_tick(msg_number);
+  if (config_.cts_retry_s > 0.0) {
+    sim_.schedule(SimTime::from_seconds(config_.cts_retry_s),
+                  [this, msg_number] { cts_tick(msg_number); });
+  }
   return Status::ok();
+}
+
+void SrReceiver::cts_tick(std::uint64_t msg_number) {
+  const auto it = messages_.find(msg_number);
+  if (it == messages_.end()) return;
+  MsgState& msg = it->second;
+  // Any data means the sender got a CTS; the retry has done its job.
+  if (msg.complete || msg.data_seen) return;
+  qp_.resend_cts(msg.handle);
+  sim_.schedule(SimTime::from_seconds(config_.cts_retry_s),
+                [this, msg_number] { cts_tick(msg_number); });
 }
 
 void SrReceiver::on_chunk_event(const core::RecvEvent& event) {
@@ -373,6 +389,7 @@ void SrReceiver::on_chunk_event(const core::RecvEvent& event) {
   const auto it = messages_.find(event.handle->msg_number());
   if (it == messages_.end()) return;
   MsgState& msg = it->second;
+  msg.data_seen = true;
   if (msg.complete) return;
 
   if (event.type == core::RecvEvent::Type::kMessageCompleted) {

@@ -51,6 +51,14 @@ struct SrProtoConfig {
   /// How many times the receiver repeats the final ACK (guards against
   /// control-path drops after recv_complete).
   std::size_t final_ack_repeats{3};
+  /// Receiver-side CTS retry pace. The CTS is a single unreliable datagram
+  /// and the sender arms no timers until it arrives — a lost CTS wedges
+  /// the message forever. When > 0, the receiver re-sends the CTS every
+  /// cts_retry_s until the first data chunk lands (a few RTTs is a good
+  /// pace: long enough that an in-flight first chunk arrives first, so
+  /// retries only fire for a genuinely lost CTS). 0 keeps the paper's
+  /// single-CTS handshake.
+  double cts_retry_s{0.0};
   /// Adaptive RTO (paper §4.1.1 "RTO tuning"): estimate the RTO from
   /// per-chunk acknowledgment RTT samples (RFC 6298 / Karn) instead of
   /// using the static rto_s. rto_s still seeds the initial timeout.
@@ -177,6 +185,7 @@ class SrReceiver {
     DoneFn done;
     std::vector<double> last_nack_s;  // per-chunk NACK suppression
     bool complete{false};
+    bool data_seen{false};  // stops the CTS retry tick
   };
 
   void register_metrics();
@@ -184,6 +193,7 @@ class SrReceiver {
   void send_ack(MsgState& msg);
   void maybe_nack(MsgState& msg, std::size_t completed_chunk);
   void ack_tick(std::uint64_t msg_number);
+  void cts_tick(std::uint64_t msg_number);
   void complete(MsgState& msg, std::uint64_t msg_number);
 
   sim::Simulator& sim_;

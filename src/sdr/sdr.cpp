@@ -324,6 +324,20 @@ Status Qp::send_poll(SendHandle* handle) {
   return Status::ok();
 }
 
+Status Qp::send_abort(SendHandle* handle) {
+  if (handle == nullptr || !handle->in_use_) {
+    return Status(StatusCode::kInvalidArgument, "invalid send handle");
+  }
+  if (handle->packets_pending_ != 0 || handle->packets_injected_ != 0) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "send already injecting: drain it through send_poll");
+  }
+  handle->queued_.clear();
+  handle->in_use_ = false;
+  --active_send_count_;
+  return Status::ok();
+}
+
 void Qp::inject(SendHandle* handle, const std::uint8_t* data,
                 std::size_t remote_offset, std::size_t length) {
   const std::size_t mtu = attr_.mtu;
@@ -462,6 +476,17 @@ Status Qp::recv_post(std::uint8_t* addr, std::size_t length,
   return Status::ok();
 }
 
+Status Qp::resend_cts(RecvHandle* handle) {
+  if (handle == nullptr || !handle->in_use_) {
+    return Status(StatusCode::kInvalidArgument, "invalid receive handle");
+  }
+  send_cts(CtsMessage{handle->msg_number_,
+                      static_cast<std::uint32_t>(handle->slot_),
+                      handle->generation_,
+                      static_cast<std::uint64_t>(handle->msg_bytes_)});
+  return Status::ok();
+}
+
 Status Qp::recv_bitmap_get(RecvHandle* handle,
                            const AtomicBitmap** bitmap) const {
   if (handle == nullptr || !handle->in_use_ || bitmap == nullptr) {
@@ -552,6 +577,9 @@ void Qp::on_control_cqe() {
       const std::size_t slot = slot_of(cts.msg_number);
       SendHandle* h = send_handles_[slot].get();
       if (h->in_use_ && h->msg_number_ == cts.msg_number) {
+        // Receiver-side CTS retry can deliver duplicates; the first one
+        // already flushed the queue and armed the protocol timers.
+        if (h->cts_ready_) continue;
         h->cts_ready_ = true;
         h->remote_msg_bytes_ = cts.msg_bytes;
         flush_queued(h);

@@ -168,6 +168,12 @@ class Qp {
   /// kOk once all injected packets have left the NIC and the stream has
   /// ended; kNotReady otherwise. A completed handle is recycled.
   Status send_poll(SendHandle* handle);
+  /// Release a send whose injection never started (its CTS never arrived
+  /// and the message completed by other means, e.g. EC parity recovery).
+  /// Drops the queued ops and recycles the handle. kFailedPrecondition if
+  /// packets have already been handed to the NIC — such a send must drain
+  /// through send_poll instead.
+  Status send_abort(SendHandle* handle);
 
   // ---- receive path ----
   Status recv_post(std::uint8_t* addr, std::size_t length,
@@ -180,6 +186,13 @@ class Qp {
   /// Table 1: recv_complete — release the receive; arms late-packet
   /// protection (NULL-key rebind + generation bump on slot reuse).
   Status recv_complete(RecvHandle* handle);
+
+  /// Re-send the CTS for a posted receive. The CTS is a single unreliable
+  /// datagram; if it is lost the sender never starts injecting and the
+  /// message wedges. Reliability layers that arm a CTS-retry timer call
+  /// this until the first data chunk lands. Duplicate CTSes are ignored by
+  /// the sender (the handle is already cts_ready).
+  Status resend_cts(RecvHandle* handle);
 
   /// Convenience for reliability layers: has every chunk arrived?
   bool recv_done(const RecvHandle* handle) const;

@@ -45,6 +45,12 @@ class Fabric {
   /// channels; flows are spread by the NIC's ECMP hash).
   void connect(Nic* a, Nic* b, const LinkOptions& options);
 
+  /// Every channel the fabric owns (one per direction per path), in
+  /// creation order — fleet rollups aggregate drop/backlog stats from it.
+  const std::vector<std::unique_ptr<sim::Channel>>& channels() const {
+    return channels_;
+  }
+
   /// Convenience topologies. Returned NICs are owned by the fabric.
   std::vector<Nic*> make_ring(std::size_t n, const LinkOptions& options);
   std::vector<Nic*> make_full_mesh(std::size_t n, const LinkOptions& options);

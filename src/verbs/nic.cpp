@@ -7,44 +7,63 @@
 
 namespace sdr::verbs {
 
-Nic::Nic(sim::Simulator& simulator, NicId id) : sim_(simulator), id_(id) {}
+Nic::Nic(sim::Simulator& simulator, NicId id) : sim_(simulator), id_(id) {
+  if (telemetry::enabled()) register_metrics();
+}
+
+void Nic::register_metrics() {
+  auto& reg = telemetry::registry();
+  tele_ = telemetry::Scope(reg, reg.instance_name("verbs.nic"));
+  tele_.bind_counter("unroutable_packets", &unroutable_);
+  tele_.bind_counter("unknown_qp_packets", &unknown_qp_);
+}
 
 Qp* Nic::create_qp(const QpConfig& config) {
   const QpNumber num = next_qp_num_++;
   auto qp = std::make_unique<Qp>(*this, num, config);
   Qp* raw = qp.get();
-  qps_.emplace(num, std::move(qp));
+  qps_.push_back(std::move(qp));
+  ++live_qps_;
   return raw;
 }
 
 Qp* Nic::find_qp(QpNumber num) {
-  const auto it = qps_.find(num);
-  return it == qps_.end() ? nullptr : it->second.get();
+  const QpNumber index = num - kFirstQpNumber;
+  if (num < kFirstQpNumber || index >= qps_.size()) return nullptr;
+  return qps_[index].get();
 }
 
-void Nic::destroy_qp(QpNumber num) { qps_.erase(num); }
+void Nic::destroy_qp(QpNumber num) {
+  const QpNumber index = num - kFirstQpNumber;
+  if (num < kFirstQpNumber || index >= qps_.size()) return;
+  if (qps_[index] != nullptr) {
+    qps_[index].reset();
+    --live_qps_;
+  }
+}
 
 void Nic::add_route(NicId remote, sim::Channel* tx) {
-  routes_[remote] = {tx};
+  add_multipath_route(remote, {tx});
 }
 
 void Nic::add_multipath_route(NicId remote,
                               std::vector<sim::Channel*> paths) {
+  if (remote >= routes_.size()) routes_.resize(remote + 1);
   routes_[remote] = std::move(paths);
 }
 
 sim::Channel* Nic::route_to(NicId remote, QpNumber src_qp,
                             QpNumber dst_qp) const {
-  const auto it = routes_.find(remote);
-  if (it == routes_.end() || it->second.empty()) return nullptr;
-  if (it->second.size() == 1) return it->second.front();
+  if (remote >= routes_.size() || routes_[remote].empty()) return nullptr;
+  const auto& paths = routes_[remote];
+  if (paths.size() == 1) return paths.front();
   // ECMP flow hash: a QP pair is sticky to one path (per-flow ordering),
   // distinct QP pairs spread across paths. Fibonacci-style mixing keeps
   // adjacent QP numbers from clumping onto one path.
   const std::uint64_t flow =
       (static_cast<std::uint64_t>(src_qp) << 32) | dst_qp;
   const std::uint64_t h = flow * 0x9E3779B97F4A7C15ULL;
-  return it->second[(h >> 40) % it->second.size()];
+  return paths[(h >> 40) % paths.size()];
 }
 
 void Nic::send_packet(WirePacket&& pkt) {

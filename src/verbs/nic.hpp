@@ -4,16 +4,23 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verbs/mr.hpp"
+#include "verbs/nic_model.hpp"
 #include "verbs/qp.hpp"
 #include "verbs/types.hpp"
 
 namespace sdr::verbs {
+
+/// QP numbers are assigned sequentially from this base and never reused, so
+/// `num - kFirstQpNumber` indexes a dense table: the per-packet lookup on
+/// the fleet fan-in path (thousands of QPs per NIC) is one bounds check and
+/// one load instead of a hash probe.
+inline constexpr QpNumber kFirstQpNumber = 0x100;
 
 class Nic {
  public:
@@ -24,6 +31,12 @@ class Nic {
   NicId id() const { return id_; }
   sim::Simulator& simulator() { return sim_; }
   ProtectionDomain& pd() { return pd_; }
+
+  /// Injection resource model (nic_model.hpp). Set caps before creating
+  /// QPs: each QP snapshots them at construction, like hardware context
+  /// init. Default caps leave the model disabled (infinitely fast posting).
+  void set_caps(const NicCaps& caps) { caps_ = caps; }
+  const NicCaps& caps() const { return caps_; }
 
   Qp* create_qp(const QpConfig& config);
   Qp* find_qp(QpNumber num);
@@ -52,16 +65,27 @@ class Nic {
 
   std::uint64_t unroutable_packets() const { return unroutable_; }
   std::uint64_t unknown_qp_packets() const { return unknown_qp_; }
+  std::size_t qp_count() const { return live_qps_; }
 
  private:
+  void register_metrics();
+
   sim::Simulator& sim_;
   NicId id_;
   ProtectionDomain pd_;
-  QpNumber next_qp_num_{0x100};
-  std::unordered_map<QpNumber, std::unique_ptr<Qp>> qps_;
-  std::unordered_map<NicId, std::vector<sim::Channel*>> routes_;
+  NicCaps caps_;
+  QpNumber next_qp_num_{kFirstQpNumber};
+  // Dense QPN-indexed table: slot i holds QP number kFirstQpNumber + i.
+  // Destroyed QPs null their slot (numbers are never reused), so a late
+  // packet for a dead QP still resolves to "unknown" in O(1).
+  std::vector<std::unique_ptr<Qp>> qps_;
+  std::size_t live_qps_{0};
+  // Dense NicId-indexed route table: every topology in the repo (pairs,
+  // rings, meshes, stars, fleets) numbers NICs with small sequential ids.
+  std::vector<std::vector<sim::Channel*>> routes_;
   std::uint64_t unroutable_{0};
   std::uint64_t unknown_qp_{0};
+  telemetry::Scope tele_;  // last member: unbinds before counters die
 };
 
 /// Convenience: build two NICs connected by a duplex link with i.i.d. loss.

@@ -1,0 +1,187 @@
+// NIC injection resource model: finite posting capacity for the software
+// NIC.
+//
+// The rest of the verbs layer posts infinitely fast — a work request is on
+// the wire the instant post_write/post_send returns, and the only pacing
+// comes from channel serialization. That is fine for single-flow protocol
+// studies but wrong for fleet scenarios, where hundreds of endpoints share
+// one NIC and the *injection* path (PCIe descriptor fetches, doorbells, SQ
+// depth, per-verb rate limits) is the contended resource. This model layers
+// those costs in without touching the default path:
+//
+//  * PCIe posting cost      — every descriptor pays pcie_desc_s; the first
+//                             descriptor of a doorbell batch also pays
+//                             pcie_doorbell_s (MMIO write). Chained posts
+//                             amortize the doorbell, exactly the post_chain
+//                             optimization real verbs code uses.
+//  * SQ-depth backpressure  — at most sq_depth work requests may be
+//                             outstanding (posted but their last byte not
+//                             yet on the wire). Posting into a full SQ
+//                             blocks the injection clock until the oldest
+//                             outstanding entry's wire-completion frontier
+//                             passes.
+//  * Per-verb token buckets — sustained message-rate limits per QP per verb
+//                             class (one-sided writes vs two-sided sends),
+//                             with a configurable burst. Models the NIC's
+//                             processing-unit rate, which caps small-op
+//                             throughput long before link bandwidth does.
+//
+// Everything is computed deterministically in virtual time: a post at sim
+// time T is admitted at a release time derived only from (T, prior posts),
+// parked in a per-QP ring, and handed to the NIC by a single
+// self-rescheduling drain event — the same pattern sim::Channel uses for
+// FIFO delivery. With NicCaps::enabled == false (the default) no Injector
+// is built and the QP egress path is byte-for-byte the old one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "verbs/types.hpp"
+
+namespace sdr::verbs {
+
+class Nic;
+class Qp;
+
+/// Injection capabilities of a NIC. Set on the Nic *before* creating QPs
+/// (QPs snapshot the caps at construction, like hardware context init).
+struct NicCaps {
+  bool enabled{false};
+
+  /// PCIe descriptor fetch/processing time per posted packet.
+  double pcie_desc_s{16e-9};
+  /// Doorbell MMIO cost, paid by the first descriptor of each batch.
+  double pcie_doorbell_s{250e-9};
+  /// Descriptors per doorbell (post_chain length); >= 1.
+  std::uint32_t doorbell_batch{8};
+
+  /// Max outstanding work requests per QP (posted, last byte not yet on
+  /// the wire). 0 disables SQ backpressure.
+  std::uint32_t sq_depth{256};
+
+  /// Sustained per-QP posting rate for one-sided writes / two-sided sends,
+  /// in packets per second. 0 = unlimited (bucket bypassed).
+  double write_ops_per_s{0.0};
+  double send_ops_per_s{0.0};
+  /// Token-bucket burst allowance, in packets.
+  double burst_ops{32.0};
+};
+
+/// Deterministic token bucket over virtual time. Tokens refill continuously
+/// at `rate` up to `burst`; acquire() returns the earliest time at or after
+/// `t` when `n` tokens are available and takes them (going momentarily
+/// negative is not allowed — the caller's clock is pushed instead).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_s, double burst)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst) {}
+
+  bool limited() const { return rate_ > 0.0; }
+
+  SimTime acquire(double n, SimTime t) {
+    if (!limited()) return t;
+    refill(t);
+    if (tokens_ >= n) {
+      tokens_ -= n;
+      return t;
+    }
+    const double wait_s = (n - tokens_) / rate_;
+    tokens_ = 0.0;
+    const SimTime ready = t + SimTime::from_seconds(wait_s);
+    last_ = ready;
+    return ready;
+  }
+
+  /// Token level if refilled to `t` (observer for tests; does not consume).
+  double tokens_at(SimTime t) const {
+    if (!limited()) return burst_;
+    const double dt = (t - last_).seconds();
+    const double level = tokens_ + (dt > 0.0 ? dt * rate_ : 0.0);
+    return level > burst_ ? burst_ : level;
+  }
+
+ private:
+  void refill(SimTime t) {
+    if (t <= last_) return;
+    tokens_ += (t - last_).seconds() * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ = t;
+  }
+
+  double rate_{0.0};
+  double burst_{0.0};
+  double tokens_{0.0};
+  SimTime last_{SimTime::zero()};
+};
+
+struct InjectorStats {
+  std::uint64_t posted_packets{0};
+  std::uint64_t doorbells_rung{0};
+  std::uint64_t sq_full_waits{0};
+  std::uint64_t token_bucket_waits{0};
+};
+
+/// Per-QP injection pipeline. First transmissions flow through post();
+/// NIC-internal traffic (RC ACK/NAK, hardware retransmissions) bypasses it,
+/// exactly as it bypasses the host posting path on real NICs.
+class Injector {
+ public:
+  Injector(Nic& nic, Qp& qp, const NicCaps& caps);
+  ~Injector();
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Admit one packet: compute its release time against the injection
+  /// clock, park it, and arm the drain. `is_send_verb` selects the verb
+  /// token bucket (two-sided send vs one-sided write).
+  void post(WirePacket&& pkt, bool is_send_verb);
+
+  /// Attach a signaled completion {wr_id, bytes} to the most recently
+  /// posted packet: when that packet's last byte leaves the wire, the
+  /// owning QP's send CQE fires. Replaces the post-time next_free()
+  /// completion the unmodeled path schedules (the packet has not reached
+  /// the channel yet when the post returns here).
+  void attach_completion(std::uint64_t wr_id, std::uint32_t bytes);
+
+  /// Injection clock: earliest admission time for the next post.
+  SimTime post_ready_at() const { return post_ready_at_; }
+  std::size_t pending() const { return pending_.size(); }
+  const InjectorStats& stats() const { return stats_; }
+  const TokenBucket& write_bucket() const { return write_bucket_; }
+  const TokenBucket& send_bucket() const { return send_bucket_; }
+
+ private:
+  struct Pending {
+    WirePacket pkt;
+    SimTime release;
+    std::uint64_t wr_id{0};
+    std::uint32_t bytes{0};
+    bool signaled{false};
+  };
+
+  SimTime admit(bool is_send_verb);
+  void arm(SimTime at);
+  void drain();
+  void register_metrics();
+
+  Nic& nic_;
+  Qp& qp_;
+  NicCaps caps_;
+  TokenBucket write_bucket_;
+  TokenBucket send_bucket_;
+  SimTime post_ready_at_{SimTime::zero()};
+  std::uint32_t descs_since_doorbell_{0};
+  common::RingBuffer<Pending> pending_;
+  // Wire-completion frontiers of in-flight work requests, monotone
+  // non-decreasing; the front is the oldest outstanding entry.
+  common::RingBuffer<SimTime> outstanding_;
+  sim::EventId drain_event_{};
+  InjectorStats stats_;
+  telemetry::Scope tele_;  // last member: unbinds before stats_ dies
+};
+
+}  // namespace sdr::verbs

@@ -6,13 +6,24 @@
 
 #include "common/logging.hpp"
 #include "verbs/nic.hpp"
+#include "verbs/nic_model.hpp"
 
 namespace sdr::verbs {
 
 Qp::Qp(Nic& nic, QpNumber num, QpConfig config)
     : nic_(nic), num_(num), config_(config) {
   assert(config_.mtu > 0);
+  if (nic_.caps().enabled) {
+    injector_ = std::make_unique<Injector>(nic_, *this, nic_.caps());
+  }
   if (telemetry::enabled()) register_metrics();
+}
+
+Qp::~Qp() {
+  if (rc_timer_.valid()) {
+    nic_.simulator().cancel(rc_timer_);
+    rc_timer_ = {};
+  }
 }
 
 void Qp::register_metrics() {
@@ -104,15 +115,22 @@ void Qp::emit_packets_for_write(const WriteWr& wr) {
   if (config_.type == QpType::kRC) {
     rc_arm_timer();
   } else if (wr.signaled) {
-    // Unreliable transports complete locally once the last byte has been
-    // handed to the wire (injection complete).
-    sim::Channel* ch = nic_.route_to(remote_nic_, num_, remote_qp_);
-    const SimTime done = ch ? ch->next_free() : nic_.simulator().now();
-    const auto wr_id = wr.wr_id;
-    const auto bytes = static_cast<std::uint32_t>(wr.length);
-    nic_.simulator().schedule_at(done, [this, wr_id, bytes] {
-      complete_send(wr_id, bytes, WcStatus::kSuccess);
-    });
+    if (injector_ != nullptr) {
+      // The packets are parked in the injection pipeline, not on the wire;
+      // the completion fires when the last one's wire frontier passes.
+      injector_->attach_completion(wr.wr_id,
+                                   static_cast<std::uint32_t>(wr.length));
+    } else {
+      // Unreliable transports complete locally once the last byte has been
+      // handed to the wire (injection complete).
+      sim::Channel* ch = nic_.route_to(remote_nic_, num_, remote_qp_);
+      const SimTime done = ch ? ch->next_free() : nic_.simulator().now();
+      const auto wr_id = wr.wr_id;
+      const auto bytes = static_cast<std::uint32_t>(wr.length);
+      nic_.simulator().schedule_at(done, [this, wr_id, bytes] {
+        complete_send(wr_id, bytes, WcStatus::kSuccess);
+      });
+    }
   }
 }
 
@@ -154,13 +172,18 @@ Status Qp::post_send(const SendWr& wr) {
   } else {
     send_packet(std::move(pkt));
     if (wr.signaled) {
-      sim::Channel* ch = nic_.route_to(dst_nic, num_, dst_qp);
-      const SimTime done = ch ? ch->next_free() : nic_.simulator().now();
-      const auto wr_id = wr.wr_id;
-      const auto bytes = static_cast<std::uint32_t>(wr.length);
-      nic_.simulator().schedule_at(done, [this, wr_id, bytes] {
-        complete_send(wr_id, bytes, WcStatus::kSuccess);
-      });
+      if (injector_ != nullptr) {
+        injector_->attach_completion(wr.wr_id,
+                                     static_cast<std::uint32_t>(wr.length));
+      } else {
+        sim::Channel* ch = nic_.route_to(dst_nic, num_, dst_qp);
+        const SimTime done = ch ? ch->next_free() : nic_.simulator().now();
+        const auto wr_id = wr.wr_id;
+        const auto bytes = static_cast<std::uint32_t>(wr.length);
+        nic_.simulator().schedule_at(done, [this, wr_id, bytes] {
+          complete_send(wr_id, bytes, WcStatus::kSuccess);
+        });
+      }
     }
   }
   return Status::ok();
@@ -194,6 +217,16 @@ void Qp::send_packet(WirePacket&& pkt, bool count_retransmission) {
                                  telemetry::kNoMsg, pkt.psn,
                                  pkt.payload.size());
     }
+  }
+  // First transmissions pay the modeled injection cost; retransmissions are
+  // NIC-internal (the hardware replays from its own buffers without
+  // re-crossing the host posting path) and bypass it, as do ACK/NAK wire
+  // messages, which never enter this function.
+  if (injector_ != nullptr && !count_retransmission) {
+    const bool is_send_verb = pkt.opcode == Opcode::kSendOnly ||
+                              pkt.opcode == Opcode::kSendOnlyImm;
+    injector_->post(std::move(pkt), is_send_verb);
+    return;
   }
   nic_.send_packet(std::move(pkt));
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -27,6 +28,7 @@
 
 namespace sdr::verbs {
 
+class Injector;
 class Nic;
 
 /// RC retransmission algorithm implemented "in the ASIC" (paper §1/§2.2:
@@ -65,6 +67,7 @@ struct QpStats {
 class Qp {
  public:
   Qp(Nic& nic, QpNumber num, QpConfig config);
+  ~Qp();
   Qp(const Qp&) = delete;
   Qp& operator=(const Qp&) = delete;
 
@@ -73,6 +76,10 @@ class Qp {
   std::size_t mtu() const { return config_.mtu; }
   const QpStats& stats() const { return stats_; }
   Nic& nic() { return nic_; }
+
+  /// The injection pipeline modeling this QP's posting path; null when the
+  /// owning NIC's caps leave the resource model disabled (the default).
+  Injector* injector() { return injector_.get(); }
 
   /// Connect to a remote QP (no-op requirement for UD, which addresses
   /// per-send; still records a default destination).
@@ -92,6 +99,8 @@ class Qp {
   void on_packet(WirePacket&& pkt);
 
  private:
+  friend class Injector;  // delivers deferred signaled send completions
+
   // ---- send side ----
   Status validate_write(const WriteWr& wr) const;
   void emit_packets_for_write(const WriteWr& wr);
@@ -123,6 +132,9 @@ class Qp {
   QpNumber num_;
   QpConfig config_;
   QpStats stats_;
+  // Injection resource model (nic_model.hpp); built only when the owning
+  // NIC's caps enable it, so the default egress path is unchanged.
+  std::unique_ptr<Injector> injector_;
 
   bool connected_{false};
   NicId remote_nic_{0};

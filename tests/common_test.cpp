@@ -226,6 +226,95 @@ TEST(RngTest, NextBelowIsUnbiased) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet traffic samplers (Zipf / Poisson / trace)
+// ---------------------------------------------------------------------------
+
+TEST(ZipfSamplerTest, PinnedReferenceVector) {
+  // Locked-in draw sequence: the fleet plan generator depends on these
+  // exact values staying stable across refactors (same guarantee the
+  // SplitMix64 pinned vector gives the sweep engine).
+  Rng rng(derive_seed(0xF1EE7, 0));
+  ASSERT_EQ(derive_seed(0xF1EE7, 0), 0xa38ada2a25e4a04bULL);
+  ZipfSampler zipf(8, 1.2);
+  const std::size_t expected[] = {1, 4, 1, 3, 1, 5, 6, 1, 6, 3, 3, 2};
+  for (std::size_t want : expected) EXPECT_EQ(zipf.sample(rng), want);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndRankOneDominates) {
+  ZipfSampler zipf(16, 1.2);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= zipf.ranks(); ++r) {
+    EXPECT_GT(zipf.pmf(r), 0.0);
+    if (r > 1) EXPECT_LT(zipf.pmf(r), zipf.pmf(r - 1));
+    total += zipf.pmf(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(zipf.pmf(0), 0.0);
+  EXPECT_EQ(zipf.pmf(17), 0.0);
+}
+
+TEST(ZipfSamplerTest, SampleConsumesExactlyOneDraw) {
+  // The one-draw-per-sample contract is what keeps interleaved samplers on
+  // derived seeds reproducible; a rejection loop would break it silently.
+  Rng a(123), b(123);
+  ZipfSampler zipf(32, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    zipf.sample(a);
+    b.next_double();
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(PoissonProcessTest, PinnedReferenceVector) {
+  Rng rng(derive_seed(0xF1EE7, 1));
+  ASSERT_EQ(derive_seed(0xF1EE7, 1), 0x3ca1419009548005ULL);
+  PoissonProcess proc(2000.0);
+  const long long expected_ns[] = {1163576, 1390298, 1677705,
+                                   2028820, 3482015, 3723761};
+  for (long long want : expected_ns) {
+    EXPECT_EQ(static_cast<long long>(proc.next(rng) * 1e9), want);
+  }
+}
+
+TEST(PoissonProcessTest, ArrivalsStrictlyIncreaseAtMeanRate) {
+  Rng rng(7);
+  PoissonProcess proc(1000.0, 0.5);
+  double prev = 0.5;
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) {
+    last = proc.next(rng);
+    EXPECT_GT(last, prev);
+    prev = last;
+  }
+  // n arrivals at 1000/s from t=0.5 should land near t = 0.5 + n/1000.
+  EXPECT_NEAR(last, 0.5 + n / 1000.0, 0.5);
+}
+
+TEST(TraceArrivalsTest, ReplaysAndWrapsWithSpanShift) {
+  TraceArrivals trace({0.1, 0.3, 0.4}, 0.5);
+  EXPECT_DOUBLE_EQ(trace.next(), 0.1);
+  EXPECT_DOUBLE_EQ(trace.next(), 0.3);
+  EXPECT_DOUBLE_EQ(trace.next(), 0.4);
+  // Second cycle: same shape shifted by the span.
+  EXPECT_DOUBLE_EQ(trace.next(), 0.6);
+  EXPECT_DOUBLE_EQ(trace.next(), 0.8);
+  EXPECT_DOUBLE_EQ(trace.next(), 0.9);
+  EXPECT_DOUBLE_EQ(trace.next(), 1.1);
+}
+
+TEST(TraceArrivalsTest, DefaultSpanIsLastTimestampAndDegenerateIsFinite) {
+  TraceArrivals trace({0.0, 0.2});
+  EXPECT_DOUBLE_EQ(trace.span(), 0.2);
+  // An all-zero trace must not wrap onto itself forever.
+  TraceArrivals zeros({0.0, 0.0});
+  EXPECT_GT(zeros.span(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.next(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.next(), 0.0);
+  EXPECT_GT(zeros.next(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Bitmap
 // ---------------------------------------------------------------------------
 

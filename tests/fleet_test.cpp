@@ -1,0 +1,158 @@
+// Tests for the fleet scenario engine (src/fleet/): plan determinism,
+// run_fleet purity (serial == threaded digest equality, the property the
+// bench's --jobs=N sweep relies on), completion accounting and quiesce for
+// every scheme, and seed sensitivity.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "fleet/traffic.hpp"
+
+namespace sdr::fleet {
+namespace {
+
+// Small but non-trivial: 2 DCs x 8 endpoints, both tenant shapes, the ring
+// collective, NIC model on — every subsystem exercised, runs in well under
+// a second.
+FleetConfig small_config(Scheme scheme) {
+  FleetConfig cfg = FleetConfig::defaults();
+  cfg.dcs = 2;
+  cfg.endpoints_per_dc = 8;
+  cfg.messages_per_connection = 6;
+  cfg.collective_iterations = 1;
+  cfg.scheme = scheme;
+  cfg.distance_km = 500.0;
+  cfg.p_drop = 1e-3;
+  cfg.seed = 0xF1EE7;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Traffic plans
+// ---------------------------------------------------------------------------
+
+TEST(TrafficPlanTest, DeterministicPerConnectionAndUncorrelated) {
+  TenantTraffic tenant;
+  tenant.msgs_per_s = 5000.0;
+  tenant.base_msg_bytes = 4096;
+  tenant.size_ranks = 4;
+
+  const auto a0 = plan_messages(tenant, 32, 99, 0);
+  const auto a0_again = plan_messages(tenant, 32, 99, 0);
+  const auto a1 = plan_messages(tenant, 32, 99, 1);
+  ASSERT_EQ(a0.size(), 32u);
+  for (std::size_t i = 0; i < a0.size(); ++i) {
+    EXPECT_EQ(a0[i].arrival_ns, a0_again[i].arrival_ns);
+    EXPECT_EQ(a0[i].bytes, a0_again[i].bytes);
+    if (i > 0) EXPECT_GT(a0[i].arrival_ns, a0[i - 1].arrival_ns);
+  }
+  // Different connection index => a different (derived-seed) schedule.
+  bool differs = false;
+  for (std::size_t i = 0; i < a0.size(); ++i) {
+    if (a0[i].arrival_ns != a1[i].arrival_ns || a0[i].bytes != a1[i].bytes) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TrafficPlanTest, TraceArrivalsReplayTheRecordedShape) {
+  TenantTraffic tenant;
+  tenant.arrivals = ArrivalKind::kTrace;
+  tenant.trace_s = {0.001, 0.002, 0.010};
+  const auto plan = plan_messages(tenant, 5, 7, 0);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[0].arrival_ns, 1'000'000);
+  EXPECT_EQ(plan[1].arrival_ns, 2'000'000);
+  EXPECT_EQ(plan[2].arrival_ns, 10'000'000);
+  // Wrapped cycle: shifted by the trace span (last timestamp, 10 ms).
+  EXPECT_EQ(plan[3].arrival_ns, 11'000'000);
+  EXPECT_EQ(plan[4].arrival_ns, 12'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// run_fleet purity and accounting
+// ---------------------------------------------------------------------------
+
+class FleetSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(FleetSchemeTest, CompletesAccountsAndQuiesces) {
+  const FleetResult r = run_fleet(small_config(GetParam()));
+  EXPECT_EQ(r.endpoints, 16u);
+  EXPECT_GT(r.messages_posted, 0u);
+  EXPECT_EQ(r.messages_completed, r.messages_posted);
+  EXPECT_EQ(r.messages_failed, 0u);
+  EXPECT_TRUE(r.quiesced);
+  EXPECT_EQ(r.payload_live_slots, 0u);
+  EXPECT_GT(r.peak_concurrent, 0u);
+  EXPECT_GT(r.fleet_goodput_gbps, 0.0);
+  EXPECT_GT(r.jain_fairness, 0.0);
+  EXPECT_LE(r.jain_fairness, 1.0 + 1e-12);
+  EXPECT_EQ(r.unknown_qp_packets, 0u);
+  EXPECT_EQ(r.unroutable_packets, 0u);
+  // Tenant rollups partition the totals.
+  std::uint64_t posted = 0, completed = 0, bytes = 0;
+  for (const auto& t : r.tenants) {
+    posted += t.posted;
+    completed += t.completed;
+    bytes += t.useful_bytes;
+  }
+  EXPECT_EQ(posted, r.messages_posted);
+  EXPECT_EQ(completed, r.messages_completed);
+  EXPECT_EQ(bytes, r.useful_bytes);  // per-tenant byte conservation
+}
+
+TEST_P(FleetSchemeTest, SerialEqualsThreadedDigest) {
+  // The bench's --jobs=N bit-identity reduces to exactly this: run_fleet is
+  // pure in its config, so a worker thread must reproduce the main thread's
+  // digest and every counter.
+  const FleetConfig cfg = small_config(GetParam());
+  const FleetResult serial = run_fleet(cfg);
+  auto task = std::async(std::launch::async, [&cfg] { return run_fleet(cfg); });
+  const FleetResult threaded = task.get();
+  EXPECT_EQ(serial.digest, threaded.digest);
+  EXPECT_EQ(serial.messages_posted, threaded.messages_posted);
+  EXPECT_EQ(serial.messages_completed, threaded.messages_completed);
+  EXPECT_EQ(serial.useful_bytes, threaded.useful_bytes);
+  EXPECT_EQ(serial.peak_concurrent, threaded.peak_concurrent);
+  EXPECT_EQ(serial.retransmissions, threaded.retransmissions);
+  EXPECT_EQ(serial.trunk_drops, threaded.trunk_drops);
+  EXPECT_DOUBLE_EQ(serial.p999_ms, threaded.p999_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FleetSchemeTest,
+                         ::testing::Values(Scheme::kSr, Scheme::kEc,
+                                           Scheme::kRc),
+                         [](const auto& info) {
+                           return std::string(scheme_name(info.param));
+                         });
+
+TEST(FleetTest, DifferentSeedsDifferentDigests) {
+  FleetConfig a = small_config(Scheme::kSr);
+  FleetConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(run_fleet(a).digest, run_fleet(b).digest);
+}
+
+TEST(FleetTest, LossyLongHaulStillCompletesEverything) {
+  // The regime that historically wedged: long RTT + real loss means lost
+  // CTS datagrams and fallback recovery; the CTS retry must save every
+  // message without the horizon safety net.
+  for (const Scheme scheme : {Scheme::kSr, Scheme::kEc}) {
+    FleetConfig cfg = small_config(scheme);
+    cfg.distance_km = 3750.0;
+    cfg.p_drop = 1e-3;
+    const FleetResult r = run_fleet(cfg);
+    EXPECT_EQ(r.messages_completed, r.messages_posted)
+        << scheme_name(scheme);
+    EXPECT_EQ(r.messages_failed, 0u) << scheme_name(scheme);
+    EXPECT_TRUE(r.quiesced) << scheme_name(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace sdr::fleet
