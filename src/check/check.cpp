@@ -7,6 +7,8 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "ec/gf256_kernels.hpp"
+#include "ec/reed_solomon.hpp"
 #include "fleet/fleet.hpp"
 #include "model/link_params.hpp"
 #include "model/protocols.hpp"
@@ -104,6 +106,80 @@ void run_differential_oracle(const std::vector<ArmResult>& arms,
             " delivered different bytes at offset " + std::to_string(i));
         break;
       }
+    }
+  }
+}
+
+/// GF(256) kernel oracle: re-encode the scenario's first submessage worth
+/// of payload with the scenario's RS(ec_k, ec_m) geometry under the
+/// forced-scalar kernel set and under the dispatched (best-ISA) set, and
+/// require byte-identical parity; then erase the maximum m blocks and
+/// require both kernel sets to reconstruct the original bytes. Runs on the
+/// explicit per-ISA kernel tables (gf_kernels_for), never the process-wide
+/// dispatch switch, so parallel seed batches stay race-free.
+void run_ec_kernel_oracle(const Scenario& s, std::uint64_t seed,
+                          std::vector<std::string>* failures) {
+  const std::size_t k = s.ec_k;
+  const std::size_t m = s.ec_m;
+  const std::size_t block = s.chunk_bytes();
+  if (k == 0 || m == 0 || k + m > 256 || block == 0) return;
+  const ec::GfKernels* scalar = ec::gf_kernels_for(ec::GfIsa::kScalar);
+  const ec::GfKernels& active = ec::gf_kernels();
+  if (scalar == nullptr) return;
+
+  const ec::ReedSolomon rs(k, m);
+  const std::vector<std::uint8_t> payload =
+      message_pattern(seed, 0, k * block);
+  std::vector<const std::uint8_t*> data(k);
+  for (std::size_t i = 0; i < k; ++i) data[i] = &payload[i * block];
+
+  std::vector<std::uint8_t> parity_scalar(m * block, 0x5C);
+  std::vector<std::uint8_t> parity_active(m * block, 0xC5);
+  std::vector<std::uint8_t*> ptrs(m);
+  for (std::size_t i = 0; i < m; ++i) ptrs[i] = &parity_scalar[i * block];
+  rs.encode_with(*scalar, std::span<const std::uint8_t* const>(data),
+                 std::span<std::uint8_t* const>(ptrs), block);
+  for (std::size_t i = 0; i < m; ++i) ptrs[i] = &parity_active[i * block];
+  rs.encode_with(active, std::span<const std::uint8_t* const>(data),
+                 std::span<std::uint8_t* const>(ptrs), block);
+  if (parity_scalar != parity_active) {
+    failures->push_back(
+        "gf256 kernel oracle: RS(" + std::to_string(k) + "," +
+        std::to_string(m) + ") parity differs between scalar and " +
+        ec::isa_name(active.isa) + " kernels");
+    return;
+  }
+
+  // Decode check: drop the first m data blocks (the hardest pattern — all
+  // erasures land on data) under each kernel set.
+  for (const ec::GfKernels* kern : {scalar, &active}) {
+    std::vector<std::uint8_t> blocks_flat((k + m) * block);
+    std::vector<std::uint8_t*> blocks(k + m);
+    ec::PresenceMap present(k + m, true);
+    for (std::size_t i = 0; i < k; ++i) {
+      blocks[i] = &blocks_flat[i * block];
+      std::memcpy(blocks[i], data[i], block);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      blocks[k + i] = &blocks_flat[(k + i) * block];
+      std::memcpy(blocks[k + i], &parity_scalar[i * block], block);
+    }
+    for (std::size_t i = 0; i < m && i < k; ++i) {
+      std::memset(blocks[i], 0, block);
+      present[i] = false;
+    }
+    if (!rs.decode_with(*kern, std::span<std::uint8_t* const>(blocks),
+                        present, block)) {
+      failures->push_back(std::string("gf256 kernel oracle: decode failed "
+                                      "under ") +
+                          ec::isa_name(kern->isa) + " kernels");
+      return;
+    }
+    if (std::memcmp(blocks_flat.data(), payload.data(), k * block) != 0) {
+      failures->push_back(std::string("gf256 kernel oracle: recovered data "
+                                      "differs from original under ") +
+                          ec::isa_name(kern->isa) + " kernels");
+      return;
     }
   }
 }
@@ -293,6 +369,9 @@ SeedReport check_seed(std::uint64_t seed, const CheckOptions& opts,
   if (opts.run_rc) report.arms.push_back(run_rc_arm(report.scenario, ropts));
 
   run_differential_oracle(report.arms, &report.failures);
+  if (opts.run_ec) {
+    run_ec_kernel_oracle(report.scenario, seed, &report.failures);
+  }
   if (opts.model_oracle && model_oracle_applies(report.scenario)) {
     run_model_oracle(report.scenario, report.arms[0], &report.failures);
   }

@@ -1,0 +1,73 @@
+#include "common/cpu.hpp"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace sdr::common {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via XGETBV: which register states the OS restores on context switch.
+std::uint64_t xcr0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.ssse3 = (ecx & bit_SSSE3) != 0;
+
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  // AVX needs xmm+ymm state saved (XCR0 bits 1,2); AVX-512 additionally the
+  // opmask/zmm-hi/zmm16-31 triplet (bits 5,6,7).
+  const std::uint64_t x = osxsave ? xcr0() : 0;
+  const bool os_avx = (x & 0x6) == 0x6;
+  const bool os_avx512 = os_avx && (x & 0xE0) == 0xE0;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) return f;
+  f.avx2 = os_avx && (ebx7 & bit_AVX2) != 0;
+  const bool avx512f = os_avx512 && (ebx7 & bit_AVX512F) != 0;
+  f.avx512bw = avx512f && (ebx7 & bit_AVX512BW) != 0;
+  f.gfni = (ecx7 & bit_GFNI) != 0;
+  return f;
+}
+
+#else  // non-x86: every SIMD tier reports unsupported, scalar dispatch wins
+
+CpuFeatures probe() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+std::string cpu_feature_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  const auto add = [&out](const char* name, bool on) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += on ? "=1" : "=0";
+  };
+  add("ssse3", f.ssse3);
+  add("avx2", f.avx2);
+  add("avx512bw", f.avx512bw);
+  add("gfni", f.gfni);
+  return out;
+}
+
+}  // namespace sdr::common

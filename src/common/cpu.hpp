@@ -1,0 +1,27 @@
+// Runtime CPU feature detection for the SIMD kernel dispatchers.
+//
+// One CPUID probe at first use, cached for the process lifetime. Detection
+// is deliberately conservative: a vector extension is reported only when
+// both the CPU advertises it AND the OS saves the corresponding register
+// state across context switches (OSXSAVE + XCR0 bits) — executing AVX on a
+// kernel that does not preserve ymm state corrupts data silently.
+#pragma once
+
+#include <string>
+
+namespace sdr::common {
+
+struct CpuFeatures {
+  bool ssse3{false};    // pshufb — the 16-byte split-table GF kernels
+  bool avx2{false};     // vpshufb across 32 lanes
+  bool avx512bw{false}; // 64-lane byte shuffles (implies avx512f)
+  bool gfni{false};     // GF2P8AFFINEQB (usable with the avx512 path)
+};
+
+/// Cached process-wide probe (CPUID + XGETBV on x86; all-false elsewhere).
+const CpuFeatures& cpu_features();
+
+/// "ssse3=1 avx2=1 avx512bw=0 gfni=0" — for logs and the cpu probe tool.
+std::string cpu_feature_summary();
+
+}  // namespace sdr::common

@@ -3,9 +3,7 @@
 #include <cassert>
 #include <cstring>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "ec/gf256_kernels.hpp"
 
 namespace sdr::ec {
 
@@ -76,82 +74,9 @@ std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
   return exp_[idx];
 }
 
-namespace {
-
-#if defined(__GFNI__) && defined(__AVX512F__) && defined(__AVX512BW__)
-#define SDR_GF_GFNI 1
-/// GFNI path: one GF2P8AFFINEQB applies the multiply-by-c bit matrix to 64
-/// bytes at once — the technique behind ISA-L-class MDS throughput.
-template <bool kAccumulate>
-void gfni_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint64_t matrix,
-              const std::uint8_t* row, std::size_t n) {
-  const __m512i a = _mm512_set1_epi64(static_cast<long long>(matrix));
-  std::size_t i = 0;
-  for (; i + 64 <= n; i += 64) {
-    const __m512i x =
-        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
-    __m512i prod = _mm512_gf2p8affine_epi64_epi8(x, a, 0);
-    if constexpr (kAccumulate) {
-      prod = _mm512_xor_si512(
-          prod, _mm512_loadu_si512(reinterpret_cast<const void*>(dst + i)));
-    }
-    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i), prod);
-  }
-  for (; i < n; ++i) {
-    if constexpr (kAccumulate) {
-      dst[i] ^= row[src[i]];
-    } else {
-      dst[i] = row[src[i]];
-    }
-  }
-}
-#endif  // GFNI
-
-#if defined(__AVX2__)
-/// SIMD GF(256) constant multiply via the classic nibble-shuffle technique
-/// (the same approach Intel ISA-L uses): c*x = Tlo[x & 0xF] ^ Thi[x >> 4],
-/// with the two 16-entry tables applied by PSHUFB across 32 lanes.
-/// `kind` selects accumulate (dst ^= c*src) or set (dst = c*src).
-template <bool kAccumulate>
-void simd_mul(std::uint8_t* dst, const std::uint8_t* src,
-              const std::uint8_t* row, std::size_t n) {
-  alignas(16) std::uint8_t lo_tab[16];
-  alignas(16) std::uint8_t hi_tab[16];
-  for (int i = 0; i < 16; ++i) {
-    lo_tab[i] = row[i];
-    hi_tab[i] = row[i << 4];
-  }
-  const __m256i vlo = _mm256_broadcastsi128_si256(
-      _mm_load_si128(reinterpret_cast<const __m128i*>(lo_tab)));
-  const __m256i vhi = _mm256_broadcastsi128_si256(
-      _mm_load_si128(reinterpret_cast<const __m128i*>(hi_tab)));
-  const __m256i mask = _mm256_set1_epi8(0x0F);
-
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    const __m256i x =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i lo = _mm256_shuffle_epi8(vlo, _mm256_and_si256(x, mask));
-    const __m256i hi = _mm256_shuffle_epi8(
-        vhi, _mm256_and_si256(_mm256_srli_epi16(x, 4), mask));
-    __m256i prod = _mm256_xor_si256(lo, hi);
-    if constexpr (kAccumulate) {
-      prod = _mm256_xor_si256(
-          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
-    }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
-  }
-  for (; i < n; ++i) {
-    if constexpr (kAccumulate) {
-      dst[i] ^= row[src[i]];
-    } else {
-      dst[i] = row[src[i]];
-    }
-  }
-}
-#endif  // __AVX2__
-
-}  // namespace
+// The bulk kernels live in gf256_kernels.cpp behind the runtime ISA
+// dispatcher (split-table pshufb/vpshufb, gf2p8affineqb, scalar fallback);
+// these wrappers keep the historical API while routing through it.
 
 void Gf256::mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                     std::size_t n) const {
@@ -160,14 +85,7 @@ void Gf256::mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
     xor_acc(dst, src, n);
     return;
   }
-  const std::uint8_t* row = mul_row(c);
-#if defined(SDR_GF_GFNI)
-  gfni_mul<true>(dst, src, affine_[c], row, n);
-#elif defined(__AVX2__)
-  simd_mul<true>(dst, src, row, n);
-#else
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
-#endif
+  gf_kernels().mul_acc(dst, src, c, n);
 }
 
 void Gf256::mul_set(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
@@ -180,14 +98,7 @@ void Gf256::mul_set(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
     std::memcpy(dst, src, n);
     return;
   }
-  const std::uint8_t* row = mul_row(c);
-#if defined(SDR_GF_GFNI)
-  gfni_mul<false>(dst, src, affine_[c], row, n);
-#elif defined(__AVX2__)
-  simd_mul<false>(dst, src, row, n);
-#else
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
-#endif
+  gf_kernels().mul_set(dst, src, c, n);
 }
 
 void Gf256::xor_acc(std::uint8_t* dst, const std::uint8_t* src,

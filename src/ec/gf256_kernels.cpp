@@ -1,0 +1,490 @@
+#include "ec/gf256_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "ec/gf256.hpp"
+
+// The vector kernels are compiled with per-function target attributes so a
+// generic (-march=x86-64) binary still carries every tier and picks at
+// runtime; only the dispatcher consults CPUID. Non-x86 or non-GNU builds
+// get the scalar tier alone.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SDR_GF_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace sdr::ec {
+
+namespace {
+
+/// Rows fused per register group in mul_acc_multi: 4 rows keep 8 table
+/// vectors + source + mask comfortably inside 16 architectural registers.
+constexpr std::size_t kFuseGroup = 4;
+
+// ---------------------------------------------------------------------------
+// Per-constant split tables: lo[c][j] = c*j, hi[c][j] = c*(j<<4). Derived
+// once from the exp/log-backed full multiplication table.
+// ---------------------------------------------------------------------------
+struct SplitTables {
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+};
+
+const SplitTables& split_tables() {
+  static const SplitTables tables = [] {
+    SplitTables t;
+    const Gf256& gf = Gf256::instance();
+    for (unsigned c = 0; c < 256; ++c) {
+      const std::uint8_t* row = gf.mul_row(static_cast<std::uint8_t>(c));
+      for (unsigned j = 0; j < 16; ++j) {
+        t.lo[c][j] = row[j];
+        t.hi[c][j] = row[j << 4];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier — the reference every vector tier must match byte for byte.
+// ---------------------------------------------------------------------------
+
+void scalar_mul_acc(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t c, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    Gf256::xor_acc(dst, src, n);
+    return;
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scalar_mul_set(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t c, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void scalar_mul_acc_multi(std::uint8_t* const* dst,
+                          const std::uint8_t* coeffs, std::size_t rows,
+                          const std::uint8_t* src, std::size_t n) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    scalar_mul_acc(dst[r], src, coeffs[r], n);
+  }
+}
+
+#if defined(SDR_GF_X86_KERNELS)
+
+// ---------------------------------------------------------------------------
+// SSSE3 tier: 16 lanes per pshufb pair.
+// ---------------------------------------------------------------------------
+
+template <bool kAccumulate>
+__attribute__((target("ssse3"))) void ssse3_mul(std::uint8_t* dst,
+                                                const std::uint8_t* src,
+                                                std::uint8_t c,
+                                                std::size_t n) {
+  if (c == 0) {
+    if constexpr (!kAccumulate) std::memset(dst, 0, n);
+    return;
+  }
+  const SplitTables& t = split_tables();
+  const __m128i vlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i vhi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_shuffle_epi8(vlo, _mm_and_si128(x, mask));
+    const __m128i hi = _mm_shuffle_epi8(
+        vhi, _mm_and_si128(_mm_srli_epi16(x, 4), mask));
+    __m128i prod = _mm_xor_si128(lo, hi);
+    if constexpr (kAccumulate) {
+      prod = _mm_xor_si128(
+          prod, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  for (; i < n; ++i) {
+    if constexpr (kAccumulate) {
+      dst[i] ^= row[src[i]];
+    } else {
+      dst[i] = row[src[i]];
+    }
+  }
+}
+
+__attribute__((target("ssse3"))) void ssse3_mul_acc_multi(
+    std::uint8_t* const* dst, const std::uint8_t* coeffs, std::size_t rows,
+    const std::uint8_t* src, std::size_t n) {
+  const SplitTables& t = split_tables();
+  const Gf256& gf = Gf256::instance();
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t r = 0;
+  while (r < rows) {
+    // Gather the next register group of up to kFuseGroup nonzero rows.
+    std::uint8_t* d[kFuseGroup];
+    const std::uint8_t* tail_row[kFuseGroup];
+    __m128i vlo[kFuseGroup], vhi[kFuseGroup];
+    std::size_t g = 0;
+    for (; r < rows && g < kFuseGroup; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      d[g] = dst[r];
+      tail_row[g] = gf.mul_row(c);
+      vlo[g] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+      vhi[g] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+      ++g;
+    }
+    if (g == 0) break;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i xlo = _mm_and_si128(x, mask);
+      const __m128i xhi = _mm_and_si128(_mm_srli_epi16(x, 4), mask);
+      for (std::size_t j = 0; j < g; ++j) {
+        const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(vlo[j], xlo),
+                                           _mm_shuffle_epi8(vhi[j], xhi));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(d[j] + i),
+            _mm_xor_si128(prod, _mm_loadu_si128(
+                                    reinterpret_cast<const __m128i*>(d[j] + i))));
+      }
+    }
+    for (; i < n; ++i) {
+      for (std::size_t j = 0; j < g; ++j) d[j][i] ^= tail_row[j][src[i]];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 32 lanes per vpshufb pair (the 16-byte tables are broadcast to
+// both 128-bit halves — vpshufb shuffles within each half).
+// ---------------------------------------------------------------------------
+
+template <bool kAccumulate>
+__attribute__((target("avx2"))) void avx2_mul(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::uint8_t c, std::size_t n) {
+  if (c == 0) {
+    if constexpr (!kAccumulate) std::memset(dst, 0, n);
+    return;
+  }
+  const SplitTables& t = split_tables();
+  const __m256i vlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i vhi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_shuffle_epi8(vlo, _mm256_and_si256(x, mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        vhi, _mm256_and_si256(_mm256_srli_epi16(x, 4), mask));
+    __m256i prod = _mm256_xor_si256(lo, hi);
+    if constexpr (kAccumulate) {
+      prod = _mm256_xor_si256(
+          prod,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  for (; i < n; ++i) {
+    if constexpr (kAccumulate) {
+      dst[i] ^= row[src[i]];
+    } else {
+      dst[i] = row[src[i]];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_mul_acc_multi(
+    std::uint8_t* const* dst, const std::uint8_t* coeffs, std::size_t rows,
+    const std::uint8_t* src, std::size_t n) {
+  const SplitTables& t = split_tables();
+  const Gf256& gf = Gf256::instance();
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t r = 0;
+  while (r < rows) {
+    std::uint8_t* d[kFuseGroup];
+    const std::uint8_t* tail_row[kFuseGroup];
+    __m256i vlo[kFuseGroup], vhi[kFuseGroup];
+    std::size_t g = 0;
+    for (; r < rows && g < kFuseGroup; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      d[g] = dst[r];
+      tail_row[g] = gf.mul_row(c);
+      vlo[g] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+      vhi[g] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+      ++g;
+    }
+    if (g == 0) break;
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i xlo = _mm256_and_si256(x, mask);
+      const __m256i xhi = _mm256_and_si256(_mm256_srli_epi16(x, 4), mask);
+      for (std::size_t j = 0; j < g; ++j) {
+        const __m256i prod =
+            _mm256_xor_si256(_mm256_shuffle_epi8(vlo[j], xlo),
+                             _mm256_shuffle_epi8(vhi[j], xhi));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(d[j] + i),
+            _mm256_xor_si256(
+                prod, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(d[j] + i))));
+      }
+    }
+    for (; i < n; ++i) {
+      for (std::size_t j = 0; j < g; ++j) d[j][i] ^= tail_row[j][src[i]];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GFNI tier: GF2P8AFFINEQB applies the multiply-by-c bit matrix (precomputed
+// in Gf256) to 64 bytes per instruction — no split tables needed at all.
+// ---------------------------------------------------------------------------
+
+template <bool kAccumulate>
+__attribute__((target("gfni,avx512f,avx512bw"))) void gfni_mul(
+    std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+    std::size_t n) {
+  if (c == 0) {
+    if constexpr (!kAccumulate) std::memset(dst, 0, n);
+    return;
+  }
+  const __m512i a = _mm512_set1_epi64(
+      static_cast<long long>(Gf256::instance().affine_matrix(c)));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i x =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+    __m512i prod = _mm512_gf2p8affine_epi64_epi8(x, a, 0);
+    if constexpr (kAccumulate) {
+      prod = _mm512_xor_si512(
+          prod, _mm512_loadu_si512(reinterpret_cast<const void*>(dst + i)));
+    }
+    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i), prod);
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  for (; i < n; ++i) {
+    if constexpr (kAccumulate) {
+      dst[i] ^= row[src[i]];
+    } else {
+      dst[i] = row[src[i]];
+    }
+  }
+}
+
+__attribute__((target("gfni,avx512f,avx512bw"))) void gfni_mul_acc_multi(
+    std::uint8_t* const* dst, const std::uint8_t* coeffs, std::size_t rows,
+    const std::uint8_t* src, std::size_t n) {
+  const Gf256& gf = Gf256::instance();
+  std::size_t r = 0;
+  while (r < rows) {
+    std::uint8_t* d[kFuseGroup];
+    const std::uint8_t* tail_row[kFuseGroup];
+    __m512i a[kFuseGroup];
+    std::size_t g = 0;
+    for (; r < rows && g < kFuseGroup; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      d[g] = dst[r];
+      tail_row[g] = gf.mul_row(c);
+      a[g] = _mm512_set1_epi64(static_cast<long long>(gf.affine_matrix(c)));
+      ++g;
+    }
+    if (g == 0) break;
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+      const __m512i x =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+      for (std::size_t j = 0; j < g; ++j) {
+        const __m512i prod = _mm512_xor_si512(
+            _mm512_gf2p8affine_epi64_epi8(x, a[j], 0),
+            _mm512_loadu_si512(reinterpret_cast<const void*>(d[j] + i)));
+        _mm512_storeu_si512(reinterpret_cast<void*>(d[j] + i), prod);
+      }
+    }
+    for (; i < n; ++i) {
+      for (std::size_t j = 0; j < g; ++j) d[j][i] ^= tail_row[j][src[i]];
+    }
+  }
+}
+
+#endif  // SDR_GF_X86_KERNELS
+
+// ---------------------------------------------------------------------------
+// Kernel tables + dispatch
+// ---------------------------------------------------------------------------
+
+constexpr GfKernels kScalarTable{GfIsa::kScalar, &scalar_mul_acc,
+                                 &scalar_mul_set, &scalar_mul_acc_multi};
+#if defined(SDR_GF_X86_KERNELS)
+constexpr GfKernels kSsse3Table{GfIsa::kSsse3, &ssse3_mul<true>,
+                                &ssse3_mul<false>, &ssse3_mul_acc_multi};
+constexpr GfKernels kAvx2Table{GfIsa::kAvx2, &avx2_mul<true>,
+                               &avx2_mul<false>, &avx2_mul_acc_multi};
+constexpr GfKernels kGfniTable{GfIsa::kGfni, &gfni_mul<true>,
+                               &gfni_mul<false>, &gfni_mul_acc_multi};
+#endif
+
+bool isa_compiled(GfIsa isa) {
+#if defined(SDR_GF_X86_KERNELS)
+  (void)isa;
+  return true;
+#else
+  return isa == GfIsa::kScalar;
+#endif
+}
+
+bool feature_supported(GfIsa isa, const common::CpuFeatures& f) {
+  switch (isa) {
+    case GfIsa::kScalar: return true;
+    case GfIsa::kSsse3: return f.ssse3;
+    case GfIsa::kAvx2: return f.avx2;
+    case GfIsa::kGfni: return f.gfni && f.avx512bw;
+  }
+  return false;
+}
+
+GfIsa best_for(const common::CpuFeatures& f) {
+  for (GfIsa isa : {GfIsa::kGfni, GfIsa::kAvx2, GfIsa::kSsse3}) {
+    if (isa_compiled(isa) && feature_supported(isa, f)) return isa;
+  }
+  return GfIsa::kScalar;
+}
+
+/// One-time env + CPUID resolution; later reads are a plain atomic load.
+/// force_gf_isa swaps the pointer (tests/bench only).
+std::atomic<const GfKernels*>& active_slot() {
+  static std::atomic<const GfKernels*> slot{[] {
+    const char* env = std::getenv("SDR_EC_ISA");
+    const IsaChoice choice = resolve_isa(env, common::cpu_features());
+    if (choice.fell_back) {
+      SDR_WARN("gf256 dispatch: %s", choice.message.c_str());
+    } else if (env != nullptr && *env != '\0') {
+      SDR_INFO("gf256 dispatch: SDR_EC_ISA override -> %s",
+               isa_name(choice.isa));
+    } else {
+      SDR_DEBUG("gf256 dispatch: auto-selected %s (%s)",
+                isa_name(choice.isa),
+                common::cpu_feature_summary().c_str());
+    }
+    return gf_kernels_for(choice.isa);
+  }()};
+  return slot;
+}
+
+}  // namespace
+
+const char* isa_name(GfIsa isa) {
+  switch (isa) {
+    case GfIsa::kScalar: return "scalar";
+    case GfIsa::kSsse3: return "ssse3";
+    case GfIsa::kAvx2: return "avx2";
+    case GfIsa::kGfni: return "gfni";
+  }
+  return "unknown";
+}
+
+bool isa_supported(GfIsa isa) {
+  return isa_compiled(isa) && feature_supported(isa, common::cpu_features());
+}
+
+GfIsa best_supported_isa() { return best_for(common::cpu_features()); }
+
+IsaChoice resolve_isa(const char* env, const common::CpuFeatures& features) {
+  IsaChoice out;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    out.isa = best_for(features);
+    return out;
+  }
+  GfIsa requested = GfIsa::kScalar;
+  bool known = false;
+  for (GfIsa isa :
+       {GfIsa::kScalar, GfIsa::kSsse3, GfIsa::kAvx2, GfIsa::kGfni}) {
+    if (std::strcmp(env, isa_name(isa)) == 0) {
+      requested = isa;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    out.isa = best_for(features);
+    out.fell_back = true;
+    out.message = std::string("SDR_EC_ISA='") + env +
+                  "' not recognized (scalar|ssse3|avx2|gfni|auto); "
+                  "auto-selected " +
+                  isa_name(out.isa);
+    return out;
+  }
+  if (isa_compiled(requested) && feature_supported(requested, features)) {
+    out.isa = requested;
+    return out;
+  }
+  // Requested-but-unsupported falls back to scalar, never to a different
+  // vector tier: a forced-ISA run must not silently test the wrong kernels.
+  out.isa = GfIsa::kScalar;
+  out.fell_back = true;
+  out.message = std::string("SDR_EC_ISA=") + env +
+                " requested but unsupported on this host/binary (" +
+                common::cpu_feature_summary() + "); falling back to scalar";
+  return out;
+}
+
+const GfKernels& gf_kernels() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+const GfKernels* gf_kernels_for(GfIsa isa) {
+  switch (isa) {
+    case GfIsa::kScalar: return &kScalarTable;
+#if defined(SDR_GF_X86_KERNELS)
+    case GfIsa::kSsse3: return &kSsse3Table;
+    case GfIsa::kAvx2: return &kAvx2Table;
+    case GfIsa::kGfni: return &kGfniTable;
+#else
+    default: break;
+#endif
+  }
+  return nullptr;
+}
+
+GfIsa active_isa() { return gf_kernels().isa; }
+
+GfIsa force_gf_isa(GfIsa isa) {
+  if (!isa_supported(isa)) return active_isa();
+  const GfKernels* prev =
+      active_slot().exchange(gf_kernels_for(isa), std::memory_order_acq_rel);
+  return prev->isa;
+}
+
+}  // namespace sdr::ec

@@ -1,0 +1,103 @@
+// Vectorized GF(256) constant-multiply kernels with runtime ISA dispatch.
+//
+// The erasure-code hot loop is dst[i] (^)= c * src[i]. The scalar form is a
+// dependent table load per byte; the vector form is the classic ISA-L
+// split-table technique: write x = hi·16 + lo, then
+//
+//   c * x = Tlo_c[lo] ^ Thi_c[hi]
+//
+// where Tlo_c / Thi_c are 16-entry tables (c*0..c*15 and c*0x00,c*0x10,...,
+// c*0xF0), applied to 16/32/64 lanes at once by PSHUFB / VPSHUFB /
+// GF2P8AFFINEQB. The per-constant 2x16-byte tables are derived once from
+// the exp/log tables at startup (8 KiB total — resident in L1 while
+// encoding).
+//
+// Dispatch: one CPUID-based resolution at first use picks the best ISA the
+// host supports (gfni > avx2 > ssse3 > scalar); the SDR_EC_ISA environment
+// variable (scalar|ssse3|avx2|gfni|auto) overrides it for testing, falling
+// back to scalar with a logged warning when the requested ISA is
+// unavailable. All kernels produce byte-identical output — the property
+// tests and the sdrcheck differential oracle enforce this exhaustively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/cpu.hpp"
+
+namespace sdr::ec {
+
+enum class GfIsa : std::uint8_t {
+  kScalar = 0,  // 256-byte row table, one load per byte
+  kSsse3 = 1,   // 16-lane pshufb
+  kAvx2 = 2,    // 32-lane vpshufb
+  kGfni = 3,    // 64-lane gf2p8affineqb (needs avx512bw too)
+};
+
+/// A resolved kernel set. All three entry points require dst and src to be
+/// non-overlapping; any alignment and any length are fine (vector kernels
+/// handle the unaligned head/tail with scalar code).
+struct GfKernels {
+  GfIsa isa{GfIsa::kScalar};
+
+  /// dst[i] ^= c * src[i].
+  void (*mul_acc)(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t n);
+  /// dst[i] = c * src[i].
+  void (*mul_set)(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t n);
+  /// Fused multi-row accumulate: dst[r][i] ^= coeffs[r] * src[i] for every
+  /// r < rows. One pass over src feeds all rows (the source block is loaded
+  /// once per register group instead of once per parity row) — the shape
+  /// ReedSolomon::encode and the decode solve feed cache-blocked runs
+  /// through. Rows with coefficient 0 are skipped.
+  void (*mul_acc_multi)(std::uint8_t* const* dst, const std::uint8_t* coeffs,
+                        std::size_t rows, const std::uint8_t* src,
+                        std::size_t n);
+};
+
+const char* isa_name(GfIsa isa);
+
+/// True when this binary has the kernel compiled AND the host CPU (plus OS
+/// state saving) supports it.
+bool isa_supported(GfIsa isa);
+
+/// Best supported tier on this host (kScalar when nothing vectorized fits).
+GfIsa best_supported_isa();
+
+/// Outcome of resolving an SDR_EC_ISA override against a feature set.
+struct IsaChoice {
+  GfIsa isa{GfIsa::kScalar};
+  bool fell_back{false};  // requested ISA unknown or unsupported
+  std::string message;    // human-readable note when fell_back
+};
+
+/// Pure resolution logic (testable without env games): `env` is the raw
+/// SDR_EC_ISA value (nullptr / "" / "auto" pick the best tier `features`
+/// supports). A recognized but unsupported request falls back to kScalar —
+/// never silently to a different vector tier — so a forced-ISA CI run
+/// that lands on an old host fails fast in the throughput gate instead of
+/// quietly testing the wrong kernels. Unknown strings fall back to auto.
+IsaChoice resolve_isa(const char* env, const common::CpuFeatures& features);
+
+/// The process-wide dispatched kernel set. First call resolves CPUID +
+/// SDR_EC_ISA (logging the decision at INFO, fallbacks at WARN); later
+/// calls are a single atomic load.
+const GfKernels& gf_kernels();
+
+/// Kernel set for one specific ISA, bypassing dispatch — the differential
+/// oracle and the per-ISA bench lanes compare these directly. Returns
+/// nullptr when the tier is not compiled into this binary; the caller must
+/// also check isa_supported() before executing a non-scalar tier.
+const GfKernels* gf_kernels_for(GfIsa isa);
+
+/// Currently dispatched ISA.
+GfIsa active_isa();
+
+/// Force the dispatched set (tests/bench only; not thread-safe against
+/// concurrent encodes). Returns the previously active ISA. Forcing an
+/// unsupported tier is a no-op that returns the current ISA.
+GfIsa force_gf_isa(GfIsa isa);
+
+}  // namespace sdr::ec

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ec/gf256_kernels.hpp"
+
 #ifdef SDR_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -13,6 +15,11 @@ namespace sdr::ec {
 namespace {
 /// Block-len threshold above which encode parallelizes across byte ranges.
 constexpr std::size_t kParallelThreshold = 256 * 1024;
+/// Sub-range the fused pass works through: the data slice plus the active
+/// parity rows stay cache-resident while every coefficient is applied.
+constexpr std::size_t kCacheBlock = 4096;
+/// k + m <= 256, so fixed stack arrays cover every legal geometry.
+constexpr std::size_t kMaxBlocks = 256;
 }  // namespace
 
 ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
@@ -24,6 +31,12 @@ ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
   // integer terms they are distinct values < 256, and XOR of distinct
   // values is nonzero.
   parity_rows_ = GfMatrix::cauchy(m, k, static_cast<std::uint8_t>(k), 0);
+  parity_by_data_.resize(k_ * m_);
+  for (std::size_t d = 0; d < k_; ++d) {
+    for (std::size_t p = 0; p < m_; ++p) {
+      parity_by_data_[d * m_ + p] = parity_rows_.at(p, d);
+    }
+  }
 }
 
 std::string ReedSolomon::name() const {
@@ -33,24 +46,32 @@ std::string ReedSolomon::name() const {
 void ReedSolomon::encode(std::span<const std::uint8_t* const> data,
                          std::span<std::uint8_t* const> parity,
                          std::size_t block_len) const {
-  assert(data.size() == k_ && parity.size() == m_);
-  const Gf256& gf = Gf256::instance();
+  encode_with(gf_kernels(), data, parity, block_len);
+}
 
-  // Cache-blocked, data-major loop: each 4 KiB sub-range keeps the data
-  // slice in L1 across all m parity rows instead of re-streaming every
-  // data block once per parity (the layout ISA-L-class encoders use).
-  constexpr std::size_t kCacheBlock = 4096;
+void ReedSolomon::encode_with(const GfKernels& kernels,
+                              std::span<const std::uint8_t* const> data,
+                              std::span<std::uint8_t* const> parity,
+                              std::size_t block_len) const {
+  assert(data.size() == k_ && parity.size() == m_);
+
+  // Fused cache-blocked pass: within each 4 KiB sub-range, initialize all m
+  // parity rows from data[0], then stream every further data block exactly
+  // once through the multi-row kernel, which loads each source vector once
+  // per register group while accumulating into the (cache-resident) parity
+  // rows. XOR accumulation is order-independent, so the output is
+  // byte-identical to the row-at-a-time formulation under any kernel.
   auto encode_range = [&](std::size_t begin, std::size_t end) {
+    std::uint8_t* dst[kMaxBlocks];
     for (std::size_t blk = begin; blk < end; blk += kCacheBlock) {
       const std::size_t n = std::min(kCacheBlock, end - blk);
       for (std::size_t p = 0; p < m_; ++p) {
-        gf.mul_set(parity[p] + blk, data[0] + blk, parity_rows_.at(p, 0), n);
+        dst[p] = parity[p] + blk;
+        kernels.mul_set(dst[p], data[0] + blk, parity_by_data_[p], n);
       }
       for (std::size_t d = 1; d < k_; ++d) {
-        const std::uint8_t* src = data[d] + blk;
-        for (std::size_t p = 0; p < m_; ++p) {
-          gf.mul_acc(parity[p] + blk, src, parity_rows_.at(p, d), n);
-        }
+        kernels.mul_acc_multi(dst, parity_by_data_.data() + d * m_, m_,
+                              data[d] + blk, n);
       }
     }
   };
@@ -82,6 +103,13 @@ bool ReedSolomon::can_recover(const PresenceMap& present) const {
 bool ReedSolomon::decode(std::span<std::uint8_t* const> blocks,
                          const PresenceMap& present,
                          std::size_t block_len) const {
+  return decode_with(gf_kernels(), blocks, present, block_len);
+}
+
+bool ReedSolomon::decode_with(const GfKernels& kernels,
+                              std::span<std::uint8_t* const> blocks,
+                              const PresenceMap& present,
+                              std::size_t block_len) const {
   assert(blocks.size() == k_ + m_ && present.size() == k_ + m_);
   if (!can_recover(present)) return false;
 
@@ -115,24 +143,31 @@ bool ReedSolomon::decode(std::span<std::uint8_t* const> blocks,
   GfMatrix inverse;
   if (!selection.invert(inverse)) return false;  // cannot happen for Cauchy
 
-  // Reconstruct each missing data block d as:
+  // Reconstruct every missing data block in one fused cache-blocked solve:
   //   data[d] = sum_r inverse[d][r] * blocks[chosen[r]]
-  const Gf256& gf = Gf256::instance();
-  for (std::size_t d : missing_data) {
-    std::uint8_t* out = blocks[d];
-    bool first = true;
-    for (std::size_t r = 0; r < k_; ++r) {
-      const std::uint8_t coeff = inverse.at(d, r);
-      if (coeff == 0) continue;
-      const std::uint8_t* src = blocks[chosen[r]];
-      if (first) {
-        gf.mul_set(out, src, coeff, block_len);
-        first = false;
-      } else {
-        gf.mul_acc(out, src, coeff, block_len);
-      }
+  // Source-major, like encode: each chosen block is streamed once per
+  // sub-range while accumulating into all missing rows. A zero coefficient
+  // in mul_set zero-fills and the multi kernel skips zero rows, so the
+  // result matches the old skip-zeroes formulation byte for byte.
+  const std::size_t miss = missing_data.size();
+  std::vector<std::uint8_t> coeff_by_source(k_ * miss);
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t j = 0; j < miss; ++j) {
+      coeff_by_source[r * miss + j] = inverse.at(missing_data[j], r);
     }
-    if (first) std::memset(out, 0, block_len);
+  }
+
+  std::uint8_t* out[kMaxBlocks];
+  for (std::size_t blk = 0; blk < block_len; blk += kCacheBlock) {
+    const std::size_t n = std::min(kCacheBlock, block_len - blk);
+    for (std::size_t j = 0; j < miss; ++j) {
+      out[j] = blocks[missing_data[j]] + blk;
+      kernels.mul_set(out[j], blocks[chosen[0]] + blk, coeff_by_source[j], n);
+    }
+    for (std::size_t r = 1; r < k_; ++r) {
+      kernels.mul_acc_multi(out, coeff_by_source.data() + r * miss, miss,
+                            blocks[chosen[r]] + blk, n);
+    }
   }
   return true;
 }

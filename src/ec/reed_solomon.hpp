@@ -7,11 +7,14 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "ec/codec.hpp"
 #include "ec/matrix.hpp"
 
 namespace sdr::ec {
+
+struct GfKernels;
 
 class ReedSolomon final : public ErasureCodec {
  public:
@@ -32,6 +35,21 @@ class ReedSolomon final : public ErasureCodec {
               const PresenceMap& present,
               std::size_t block_len) const override;
 
+  /// encode()/decode() with an explicit kernel set instead of the
+  /// process-wide dispatched one — the differential oracle and the per-ISA
+  /// bench lanes run the same pass under forced kernels and compare bytes.
+  /// The fused cache-blocked pass reads each source block once per 4 KiB
+  /// range while accumulating into all m parity rows (encode) or all
+  /// missing data rows (decode), so the kernel always sees long contiguous
+  /// runs. Allocation-free on the encode path.
+  void encode_with(const GfKernels& kernels,
+                   std::span<const std::uint8_t* const> data,
+                   std::span<std::uint8_t* const> parity,
+                   std::size_t block_len) const;
+  bool decode_with(const GfKernels& kernels,
+                   std::span<std::uint8_t* const> blocks,
+                   const PresenceMap& present, std::size_t block_len) const;
+
   /// Rows [k, k+m) of the full encoding matrix (the Cauchy part), exposed
   /// for tests that verify the MDS property directly.
   const GfMatrix& parity_matrix() const { return parity_rows_; }
@@ -40,6 +58,10 @@ class ReedSolomon final : public ErasureCodec {
   std::size_t k_;
   std::size_t m_;
   GfMatrix parity_rows_;  // m x k
+  // Transposed coefficients, [d * m + p] = parity_rows_(p, d): the fused
+  // encode pass hands the kernel one contiguous coefficient column per
+  // data block.
+  std::vector<std::uint8_t> parity_by_data_;
 };
 
 }  // namespace sdr::ec

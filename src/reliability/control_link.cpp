@@ -14,12 +14,13 @@ ControlLink::ControlLink(verbs::Nic& nic, std::size_t recv_buffers,
   qp_ = nic_.create_qp(cfg);
   cq_->set_notify([this] { drain(); });
 
-  buffers_.resize(recv_buffers, std::vector<std::uint8_t>(buffer_bytes));
+  buffer_bytes_ = buffer_bytes;
+  buffers_.resize(recv_buffers * buffer_bytes);
   for (std::size_t i = 0; i < recv_buffers; ++i) {
     verbs::RecvWr rwr;
     rwr.wr_id = i;
-    rwr.addr = buffers_[i].data();
-    rwr.length = buffers_[i].size();
+    rwr.addr = buffers_.data() + i * buffer_bytes_;
+    rwr.length = buffer_bytes_;
     qp_->post_recv(rwr);
   }
 }
@@ -52,13 +53,14 @@ void ControlLink::drain() {
     if (!cqe->is_recv) continue;
     const std::size_t buf = static_cast<std::size_t>(cqe->wr_id);
     ++received_;
+    std::uint8_t* addr = buffers_.data() + buf * buffer_bytes_;
     if (on_receive_) {
-      on_receive_(buffers_[buf].data(), cqe->byte_len);
+      on_receive_(addr, cqe->byte_len);
     }
     verbs::RecvWr rwr;
     rwr.wr_id = buf;
-    rwr.addr = buffers_[buf].data();
-    rwr.length = buffers_[buf].size();
+    rwr.addr = addr;
+    rwr.length = buffer_bytes_;
     qp_->post_recv(rwr);
   }
 }

@@ -54,7 +54,9 @@ class ControlLink {
   verbs::Qp* qp_{nullptr};
   verbs::NicId peer_nic_{0};
   verbs::QpNumber peer_qp_{0};
-  std::vector<std::vector<std::uint8_t>> buffers_;
+  // Receive buffers: one flat allocation, buffer i at [i * buffer_bytes_].
+  std::vector<std::uint8_t> buffers_;
+  std::size_t buffer_bytes_{0};
   ReceiveFn on_receive_;
   std::uint64_t sent_{0};
   std::uint64_t received_{0};

@@ -473,12 +473,12 @@ void EcReceiver::on_chunk_event(const core::RecvEvent& event) {
     }
     if (msg.fallback) {
       // Tell the sender to stop retransmitting this submessage.
-      ControlMessage ack;
-      ack.type = ControlType::kSrAck;
-      ack.msg_number = msg.data_handles[sub]->msg_number();
+      ControlMessage& ack = ctrl_scratch_;
+      reset_control(ack, ControlType::kSrAck,
+                    msg.data_handles[sub]->msg_number());
       ack.cumulative = static_cast<std::uint32_t>(config_.k);
-      const auto wire = encode_control(ack);
-      control_.send(wire.data(), wire.size());
+      encode_control(ack, wire_scratch_);
+      control_.send(wire_scratch_.data(), wire_scratch_.size());
     }
     check_message(msg, base);
   }
@@ -591,9 +591,8 @@ void EcReceiver::on_fto(std::uint64_t base) {
   msg.fallback = true;
   if (msg.sub_nacked.empty()) msg.sub_nacked.assign(msg.submessages, false);
 
-  ControlMessage nack;
-  nack.type = ControlType::kEcNack;
-  nack.msg_number = base;
+  ControlMessage& nack = ctrl_scratch_;
+  reset_control(nack, ControlType::kEcNack, base);
   for (std::size_t s = 0; s < msg.submessages && nack.indices.size() < 512;
        ++s) {
     if (!msg.sub_recovered[s]) {
@@ -605,8 +604,8 @@ void EcReceiver::on_fto(std::uint64_t base) {
     }
   }
   if (nack.indices.empty()) return;
-  const auto wire = encode_control(nack);
-  control_.send(wire.data(), wire.size());
+  encode_control(nack, wire_scratch_);
+  control_.send(wire_scratch_.data(), wire_scratch_.size());
   ++stats_.ec_nacks_sent;
   // Keep refiring while submessages are outstanding: the NACK itself (or
   // the sender's entire first transmission) can be lost, and the sender
@@ -660,17 +659,17 @@ void EcReceiver::send_fallback_acks(MsgState& msg, std::uint64_t base) {
     const AtomicBitmap* bits = nullptr;
     qp_.recv_bitmap_get(msg.data_handles[s], &bits);
     if (bits == nullptr) continue;
-    ControlMessage ack;
-    ack.type = ControlType::kSrAck;
-    ack.msg_number = msg.data_handles[s]->msg_number();
+    ControlMessage& ack = ctrl_scratch_;
+    reset_control(ack, ControlType::kSrAck,
+                  msg.data_handles[s]->msg_number());
     ack.cumulative = static_cast<std::uint32_t>(bits->first_zero(config_.k));
     ack.selective_base = 0;
     ack.selective.reserve(bitmap_words(config_.k));
     for (std::size_t w = 0; w < bitmap_words(config_.k); ++w) {
       ack.selective.push_back(bits->load_word(w));
     }
-    const auto wire = encode_control(ack);
-    control_.send(wire.data(), wire.size());
+    encode_control(ack, wire_scratch_);
+    control_.send(wire_scratch_.data(), wire_scratch_.size());
   }
 }
 
@@ -689,18 +688,18 @@ void EcReceiver::complete(MsgState& msg, std::uint64_t base) {
   if (msg.global_timer.valid()) sim_.cancel(msg.global_timer);
   if (msg.ack_timer.valid()) sim_.cancel(msg.ack_timer);
 
-  ControlMessage ack;
-  ack.type = ControlType::kEcAck;
-  ack.msg_number = base;
-  const auto wire = encode_control(ack);
-  control_.send(wire.data(), wire.size());
+  ControlMessage& ack = ctrl_scratch_;
+  reset_control(ack, ControlType::kEcAck, base);
+  encode_control(ack, wire_scratch_);
+  control_.send(wire_scratch_.data(), wire_scratch_.size());
   for (std::size_t r = 1; r < config_.final_ack_repeats; ++r) {
-    // Init-capture: `wire` is const, and a const member would degrade the
-    // event's relocation to a copy (InlineFunction requires nothrow moves).
+    // Init-capture copies the scratch: the repeat fires after the scratch
+    // has been reused, and a const member would degrade the event's
+    // relocation to a copy (InlineFunction requires nothrow moves).
     sim_.schedule(
         SimTime::from_seconds(config_.fallback_ack_interval_s *
                               static_cast<double>(r)),
-        [this, ack_wire = wire] {
+        [this, ack_wire = wire_scratch_] {
           control_.send(ack_wire.data(), ack_wire.size());
         });
   }

@@ -194,6 +194,10 @@ class EcReceiver {
   std::size_t chunk_bytes_;
   std::unordered_map<std::uint64_t, MsgState> messages_;
   std::unordered_map<std::uint64_t, std::uint64_t> handle_to_base_;
+  // Reused ACK/NACK encode scratch (same pattern as SrReceiver): the
+  // control path allocates nothing in steady state.
+  ControlMessage ctrl_scratch_;
+  std::vector<std::uint8_t> wire_scratch_;
   EcReceiverStats stats_;
   // Tail-latency rollups: expect() -> submessage recovered / message done.
   telemetry::HistogramHandle chunk_completion_hist_;

@@ -140,12 +140,11 @@ void ReliableChannel::eager_transmit(std::uint64_t id) {
   EagerSend& state = it->second;
   ++state.attempts;
 
-  ControlMessage msg;
-  msg.type = ControlType::kEagerData;
-  msg.msg_number = id;
-  msg.payload = state.payload;
-  const auto wire = encode_control(msg);
-  src_control_->send(wire.data(), wire.size());
+  ControlMessage& msg = ctrl_scratch_;
+  reset_control(msg, ControlType::kEagerData, id);
+  msg.payload.assign(state.payload.begin(), state.payload.end());
+  encode_control(msg, wire_scratch_);
+  src_control_->send(wire_scratch_.data(), wire_scratch_.size());
 
   state.timer = sim_.schedule(SimTime::from_seconds(options_.eager_rto_s),
                               [this, id] { eager_transmit(id); });
@@ -173,11 +172,10 @@ void ReliableChannel::on_dst_control(const std::uint8_t* data,
   if (!parsed) return;
   if (parsed->type != ControlType::kEagerData) return;  // receivers only
   // Always acknowledge — duplicates mean the previous ack was lost.
-  ControlMessage ack;
-  ack.type = ControlType::kEagerAck;
-  ack.msg_number = parsed->msg_number;
-  const auto wire = encode_control(ack);
-  dst_control_->send(wire.data(), wire.size());
+  ControlMessage& ack = ctrl_scratch_;
+  reset_control(ack, ControlType::kEagerAck, parsed->msg_number);
+  encode_control(ack, wire_scratch_);
+  dst_control_->send(wire_scratch_.data(), wire_scratch_.size());
 
   if (const auto it = eager_recvs_.find(parsed->msg_number);
       it != eager_recvs_.end()) {

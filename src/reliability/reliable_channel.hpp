@@ -105,6 +105,9 @@ class ReliableChannel {
   std::map<std::uint64_t, EagerSend> eager_sends_;
   std::map<std::uint64_t, EagerRecv> eager_recvs_;
   std::map<std::uint64_t, std::vector<std::uint8_t>> eager_stash_;
+  // Reused eager encode scratch (same pattern as Sr/EcReceiver).
+  ControlMessage ctrl_scratch_;
+  std::vector<std::uint8_t> wire_scratch_;
   ControlLink::ReceiveFn protocol_src_handler_;
 
   // ---- kAuto: a second (EC) stack and the model-guided router ----

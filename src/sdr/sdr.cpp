@@ -52,14 +52,14 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
   control_qp_ = nic.create_qp(control_cfg);
   control_cq_->set_notify([this] { on_control_cqe(); });
 
-  // Pre-post CTS receive buffers.
+  // Pre-post CTS receive buffers (one flat allocation for all slots).
   const std::size_t n_cts = attr_.max_inflight * kCtsBufferFactor;
-  cts_buffers_.resize(n_cts, std::vector<std::uint8_t>(sizeof(CtsMessage)));
+  cts_buffers_.resize(n_cts * sizeof(CtsMessage));
   for (std::size_t i = 0; i < n_cts; ++i) {
     verbs::RecvWr rwr;
     rwr.wr_id = i;
-    rwr.addr = cts_buffers_[i].data();
-    rwr.length = cts_buffers_[i].size();
+    rwr.addr = cts_buffers_.data() + i * sizeof(CtsMessage);
+    rwr.length = sizeof(CtsMessage);
     control_qp_->post_recv(rwr);
   }
 
@@ -84,16 +84,16 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
     cfg.recv_cq = cq.get();
     verbs::Qp* qp = nic.create_qp(cfg);
     if (ud) {
-      // Pre-post staging datagram buffers; payload is copied out to the
-      // user buffer by the receive backend and the buffer reposted.
+      // Pre-post staging datagram buffers (one flat allocation per QP);
+      // payload is copied out to the user buffer by the receive backend
+      // and the buffer reposted.
       auto& staging = ud_staging_[i];
-      staging.resize(attr_.ud_staging_depth,
-                     std::vector<std::uint8_t>(attr_.mtu));
-      for (std::size_t b = 0; b < staging.size(); ++b) {
+      staging.resize(attr_.ud_staging_depth * attr_.mtu);
+      for (std::size_t b = 0; b < attr_.ud_staging_depth; ++b) {
         verbs::RecvWr rwr;
         rwr.wr_id = b;
-        rwr.addr = staging[b].data();
-        rwr.length = staging[b].size();
+        rwr.addr = staging.data() + b * attr_.mtu;
+        rwr.length = attr_.mtu;
         qp->post_recv(rwr);
       }
     }
@@ -115,12 +115,8 @@ Qp::Qp(Context& ctx, const QpAttr& attr)
 
   // Handle pools: one handle per slot bounds in-flight messages. The CTS
   // pending array is slot-indexed for the same reason (see sdr.hpp).
-  send_handles_.reserve(attr_.max_inflight);
-  recv_handles_.reserve(attr_.max_inflight);
-  for (std::size_t s = 0; s < attr_.max_inflight; ++s) {
-    send_handles_.push_back(std::make_unique<SendHandle>());
-    recv_handles_.push_back(std::make_unique<RecvHandle>());
-  }
+  send_handles_.resize(attr_.max_inflight);
+  recv_handles_.resize(attr_.max_inflight);
   cts_pending_.resize(attr_.max_inflight);
 
   if (telemetry::enabled()) register_metrics();
@@ -220,7 +216,7 @@ Status Qp::send_stream_start(std::uint32_t user_imm, bool has_user_imm,
   }
   const std::uint64_t msg_number = send_counter_;
   const std::size_t slot = slot_of(msg_number);
-  SendHandle* h = send_handles_[slot].get();
+  SendHandle* h = &send_handles_[slot];
   if (h->in_use_) {
     return Status(StatusCode::kResourceExhausted,
                   "message table full: poll previous sends to completion");
@@ -445,7 +441,7 @@ Status Qp::recv_post(std::uint8_t* addr, std::size_t length,
   }
   const std::uint64_t msg_number = recv_counter_;
   const std::size_t slot = slot_of(msg_number);
-  RecvHandle* h = recv_handles_[slot].get();
+  RecvHandle* h = &recv_handles_[slot];
   if (h->in_use_) {
     return Status(StatusCode::kResourceExhausted,
                   "message table full: complete the oldest receive first");
@@ -554,12 +550,13 @@ void Qp::on_control_cqe() {
       if (!cqe.is_recv || cqe.byte_len < sizeof(CtsMessage)) continue;
       const std::size_t buf = static_cast<std::size_t>(cqe.wr_id);
       CtsMessage cts;
-      std::memcpy(&cts, cts_buffers_[buf].data(), sizeof(cts));
+      std::uint8_t* cts_buf = cts_buffers_.data() + buf * sizeof(CtsMessage);
+      std::memcpy(&cts, cts_buf, sizeof(cts));
       // Recycle the CTS buffer.
       verbs::RecvWr rwr;
       rwr.wr_id = buf;
-      rwr.addr = cts_buffers_[buf].data();
-      rwr.length = cts_buffers_[buf].size();
+      rwr.addr = cts_buf;
+      rwr.length = sizeof(CtsMessage);
       control_qp_->post_recv(rwr);
       ++stats_.cts_received;
       if (telemetry::tracing()) {
@@ -575,7 +572,7 @@ void Qp::on_control_cqe() {
       // Order-based matching: the in-flight send for this msg_number, if
       // started, lives at its slot.
       const std::size_t slot = slot_of(cts.msg_number);
-      SendHandle* h = send_handles_[slot].get();
+      SendHandle* h = &send_handles_[slot];
       if (h->in_use_ && h->msg_number_ == cts.msg_number) {
         // Receiver-side CTS retry can deliver duplicates; the first one
         // already flushed the queue and armed the protocol timers.
@@ -613,7 +610,8 @@ void Qp::on_data_cqe(std::size_t qp_index) {
         // unlike the zero-copy path, where the NIC has already placed the
         // payload — so stale packets never touch user memory. The staging
         // buffer is reposted either way.
-        auto& staging = ud_staging_[qp_index][cqe.wr_id];
+        std::uint8_t* staging =
+            ud_staging_[qp_index].data() + cqe.wr_id * attr_.mtu;
         result = table_.process_completion(fields, qp_generation);
         if (result.accepted && result.new_packet) {
           const std::uint64_t offset =
@@ -622,15 +620,15 @@ void Qp::on_data_cqe(std::size_t qp_index) {
           const verbs::ResolvedAccess access =
               root_table_->resolve(offset, cqe.byte_len);
           if (access.valid && !access.discard && access.addr != nullptr) {
-            std::memcpy(access.addr, staging.data(), cqe.byte_len);
+            std::memcpy(access.addr, staging, cqe.byte_len);
             ++stats_.staged_packets;
             stats_.staged_bytes += cqe.byte_len;
           }
         }
         verbs::RecvWr rwr;
         rwr.wr_id = cqe.wr_id;
-        rwr.addr = staging.data();
-        rwr.length = staging.size();
+        rwr.addr = staging;
+        rwr.length = attr_.mtu;
         data_qps_[qp_index]->post_recv(rwr);
       } else {
         result = table_.process_completion(fields, qp_generation);
@@ -639,7 +637,7 @@ void Qp::on_data_cqe(std::size_t qp_index) {
         ++stats_.completions_discarded;
         continue;
       }
-      RecvHandle* h = recv_handles_[fields.msg_id].get();
+      RecvHandle* h = &recv_handles_[fields.msg_id];
       if (telemetry::tracing()) {
         const std::uint64_t msg =
             h->in_use_ ? h->msg_number_ : telemetry::kNoMsg;
@@ -701,7 +699,7 @@ void Qp::on_send_cqe() {
       if (cqe.is_recv) continue;
       const std::size_t slot = static_cast<std::size_t>(cqe.wr_id);
       if (slot >= send_handles_.size()) continue;
-      SendHandle* h = send_handles_[slot].get();
+      SendHandle* h = &send_handles_[slot];
       if (h->in_use_ && h->packets_pending_ > 0) --h->packets_pending_;
     }
   }

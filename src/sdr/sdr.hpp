@@ -279,17 +279,21 @@ class Qp {
 
   // Handles: one per message-table slot (bounded in-flight). The handle
   // for in-flight send msg_number is send_handles_[slot_of(msg_number)];
-  // CTS arrival re-derives it the same way.
-  std::vector<std::unique_ptr<SendHandle>> send_handles_;
-  std::vector<std::unique_ptr<RecvHandle>> recv_handles_;
+  // CTS arrival re-derives it the same way. Stored by value (sized once in
+  // the constructor, never resized) so handle addresses stay stable without
+  // one heap node per slot.
+  std::vector<SendHandle> send_handles_;
+  std::vector<RecvHandle> recv_handles_;
   std::size_t active_send_count_{0};
 
-  // Control-plane receive buffers for CTS datagrams.
-  std::vector<std::vector<std::uint8_t>> cts_buffers_;
+  // Control-plane receive buffers for CTS datagrams: one flat allocation,
+  // slot i at [i * sizeof(CtsMessage)].
+  std::vector<std::uint8_t> cts_buffers_;
 
-  // UD transport: per-data-QP staging datagram buffers (indexed
-  // [qp_index][buffer]); wr_id of a staging recv is its buffer index.
-  std::vector<std::vector<std::vector<std::uint8_t>>> ud_staging_;
+  // UD transport: per-data-QP staging datagram buffers, one flat
+  // allocation per QP; wr_id of a staging recv is its buffer index,
+  // buffer b at [b * mtu].
+  std::vector<std::vector<std::uint8_t>> ud_staging_;
 
   std::function<void(const RecvEvent&)> recv_event_handler_;
   std::function<void(std::uint64_t)> cts_handler_;

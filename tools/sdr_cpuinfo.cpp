@@ -1,0 +1,49 @@
+// sdr_cpuinfo: print the host's SIMD feature probe and which GF(256)
+// kernel tier the erasure-code dispatcher selects. CI uses this to decide
+// which SDR_EC_ISA matrix entries are runnable on the current runner
+// (exit status 0 with `--require=ISA` when supported, 2 when not), so
+// unsupported tiers are skipped loudly instead of silently passing.
+#include <cstdio>
+#include <cstring>
+
+#include "common/cpu.hpp"
+#include "ec/gf256_kernels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdr;
+  const char* require = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      require = argv[i] + 10;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--require=scalar|ssse3|avx2|gfni]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("features: %s\n", common::cpu_feature_summary().c_str());
+  std::printf("dispatched: %s\n", ec::isa_name(ec::gf_kernels().isa));
+  std::printf("tiers:");
+  for (ec::GfIsa isa : {ec::GfIsa::kScalar, ec::GfIsa::kSsse3,
+                        ec::GfIsa::kAvx2, ec::GfIsa::kGfni}) {
+    const bool compiled = ec::gf_kernels_for(isa) != nullptr;
+    const bool usable = compiled && ec::isa_supported(isa);
+    std::printf(" %s=%s", ec::isa_name(isa),
+                usable ? "ok" : (compiled ? "no-cpu" : "no-build"));
+  }
+  std::printf("\n");
+
+  if (require != nullptr) {
+    for (ec::GfIsa isa : {ec::GfIsa::kScalar, ec::GfIsa::kSsse3,
+                          ec::GfIsa::kAvx2, ec::GfIsa::kGfni}) {
+      if (std::strcmp(require, ec::isa_name(isa)) != 0) continue;
+      const bool usable =
+          ec::gf_kernels_for(isa) != nullptr && ec::isa_supported(isa);
+      return usable ? 0 : 2;
+    }
+    std::fprintf(stderr, "unknown ISA: %s\n", require);
+    return 1;
+  }
+  return 0;
+}
